@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table benchmark runs the *real* experiment once
+(``benchmark.pedantic(..., rounds=1)``) at ``REPRO_BENCH_SCALE`` (default
+2.0 — large enough for model tables to amortise, small enough to finish
+in minutes) and prints the regenerated series.  Results are also written
+to ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.workloads.profiles import BENCHMARK_NAMES
+from repro.workloads.suite import generate_benchmark
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def mips_suite() -> Dict[str, bytes]:
+    """The full 18-benchmark MIPS suite at bench scale."""
+    return {
+        name: generate_benchmark(name, "mips", BENCH_SCALE, BENCH_SEED).code
+        for name in BENCHMARK_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def x86_suite() -> Dict[str, bytes]:
+    """The full 18-benchmark x86 suite at bench scale."""
+    return {
+        name: generate_benchmark(name, "x86", BENCH_SCALE, BENCH_SEED).code
+        for name in BENCHMARK_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def mips_gcc() -> bytes:
+    """One mid/large MIPS program for single-program sweeps."""
+    return generate_benchmark("gcc", "mips", BENCH_SCALE, BENCH_SEED).code
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated table and save it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,89 @@
+"""Codec throughput microbenchmarks (timed by pytest-benchmark).
+
+Not a paper table — engineering numbers for the library itself:
+compression and decompression speed of each block-oriented codec on a
+fixed mid-size program.  These run multiple rounds (real timing).
+"""
+
+import pytest
+
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.baselines.gzipish import gzipish_compress
+from repro.baselines.lzw import lzw_compress
+from repro.core.sadc import MipsSadcCodec
+from repro.core.samc import SamcCodec
+from repro.workloads.suite import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def code() -> bytes:
+    return generate_benchmark("ijpeg", "mips", scale=0.5, seed=1).code
+
+
+@pytest.mark.benchmark(group="throughput-compress")
+def test_samc_compress_throughput(benchmark, code):
+    codec = SamcCodec.for_mips()
+    image = benchmark(codec.compress, code)
+    assert image.payload_bytes > 0
+
+
+@pytest.mark.benchmark(group="throughput-compress")
+def test_sadc_compress_throughput(benchmark, code):
+    codec = MipsSadcCodec(max_cycles=16)
+    image = benchmark(codec.compress, code)
+    assert image.payload_bytes > 0
+
+
+@pytest.mark.benchmark(group="throughput-compress")
+def test_byte_huffman_compress_throughput(benchmark, code):
+    codec = ByteHuffmanCodec()
+    image = benchmark(codec.compress, code)
+    assert image.payload_bytes > 0
+
+
+@pytest.mark.benchmark(group="throughput-compress")
+def test_lzw_compress_throughput(benchmark, code):
+    payload = benchmark(lzw_compress, code)
+    assert payload
+
+
+@pytest.mark.benchmark(group="throughput-compress")
+def test_gzipish_compress_throughput(benchmark, code):
+    payload = benchmark(gzipish_compress, code)
+    assert payload
+
+
+@pytest.mark.benchmark(group="throughput-decompress")
+def test_samc_block_decompress_throughput(benchmark, code):
+    codec = SamcCodec.for_mips()
+    image = codec.compress(code)
+
+    def refill():
+        return codec.decompress_block(image, 3)
+
+    block = benchmark(refill)
+    assert block == code[96:128]
+
+
+@pytest.mark.benchmark(group="throughput-decompress")
+def test_sadc_block_decompress_throughput(benchmark, code):
+    codec = MipsSadcCodec(max_cycles=16)
+    image = codec.compress(code)
+
+    def refill():
+        return codec.decompress_block(image, 3)
+
+    block = benchmark(refill)
+    assert block == code[96:128]
+
+
+@pytest.mark.benchmark(group="throughput-decompress")
+def test_byte_huffman_block_decompress_throughput(benchmark, code):
+    codec = ByteHuffmanCodec()
+    image = codec.compress(code)
+
+    def refill():
+        return codec.decompress_block(image, 3)
+
+    block = benchmark(refill)
+    assert block == code[96:128]

@@ -1,0 +1,56 @@
+"""tab-dict — Section 4: dictionary design choices.
+
+Sweeps (a) the dictionary capacity (the paper fixes 256 "to keep the
+opcode value in one byte"), and (b) the candidate classes — opcode
+groups vs register binding vs immediate binding — to show each gain
+heuristic earns its keep.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.tables import format_mapping
+from repro.core.sadc import MipsSadcCodec
+
+CAPACITIES = (64, 128, 256)
+
+
+def _sweep(code):
+    results = {}
+    for capacity in CAPACITIES:
+        image = MipsSadcCodec(max_entries=capacity).compress(code)
+        results[f"dict={capacity} payload"] = image.payload_ratio
+        results[f"dict={capacity} entries"] = len(image.metadata["dictionary"])
+    variants = {
+        "full": MipsSadcCodec(),
+        "no groups": MipsSadcCodec(enable_groups=False),
+        "no reg binding": MipsSadcCodec(enable_reg_binding=False),
+        "no imm binding": MipsSadcCodec(enable_imm_binding=False),
+        "singles only": MipsSadcCodec(enable_groups=False,
+                                      enable_reg_binding=False,
+                                      enable_imm_binding=False),
+    }
+    for label, codec in variants.items():
+        results[f"{label} payload"] = codec.compress(code).payload_ratio
+    return results
+
+
+@pytest.mark.benchmark(group="tab-dict")
+def test_dictionary_ablation(benchmark, mips_gcc, results_dir):
+    results = benchmark.pedantic(_sweep, args=(mips_gcc,),
+                                 rounds=1, iterations=1)
+    publish(results_dir, "tab_dict",
+            format_mapping(results, title="SADC dictionary ablation (gcc)"))
+
+    # Bigger dictionaries never hurt payload.
+    assert (results["dict=256 payload"]
+            <= results["dict=128 payload"] + 0.005)
+    assert (results["dict=128 payload"]
+            <= results["dict=64 payload"] + 0.005)
+    # Every candidate class contributes: ablating any of them cannot beat
+    # the full configuration, and singles-only is clearly worst.
+    full = results["full payload"]
+    assert results["no groups payload"] >= full - 0.005
+    assert results["no reg binding payload"] >= full - 0.005
+    assert results["no imm binding payload"] >= full - 0.005
+    assert results["singles only payload"] > full + 0.01

@@ -1,0 +1,45 @@
+"""Figure 7 — compression ratios on MIPS, 18 SPEC95 benchmarks.
+
+Regenerates the paper's series: compress (LZW), gzip (LZSS+Huffman),
+SAMC, SADC, one bar group per benchmark, ratio = compressed/original.
+Shape assertions encode the paper's qualitative findings.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.experiments import SuiteRow, average_ratios, compression_ratio
+from repro.analysis.tables import format_suite
+
+ALGORITHMS = ("compress", "gzip", "SAMC", "SADC")
+
+
+def _figure7(mips_suite):
+    rows = []
+    for name, code in mips_suite.items():
+        row = SuiteRow(benchmark=name, size_bytes=len(code))
+        for algorithm in ALGORITHMS:
+            row.ratios[algorithm] = compression_ratio(code, algorithm, "mips")
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_mips_compression_ratios(benchmark, mips_suite, results_dir):
+    rows = benchmark.pedantic(_figure7, args=(mips_suite,),
+                              rounds=1, iterations=1)
+    publish(results_dir, "fig7_mips",
+            format_suite(rows, title="Figure 7 — MIPS compression ratios"))
+
+    averages = average_ratios(rows)
+    # Paper shapes: everything compresses; gzip is the file-oriented
+    # bound; SADC beats SAMC by several points (4-6% in the paper).
+    assert all(ratio < 1.0 for ratio in averages.values())
+    assert averages["gzip"] < averages["SADC"] < averages["SAMC"]
+    assert averages["SAMC"] - averages["SADC"] > 0.02
+    # SAMC sits in UNIX-compress territory on MIPS (the paper's headline
+    # comparison); allow a generous band around parity.
+    assert abs(averages["SAMC"] - averages["compress"]) < 0.2
+    # Per-benchmark: SADC never loses to SAMC by more than noise.
+    for row in rows:
+        assert row.ratios["SADC"] < row.ratios["SAMC"] + 0.03

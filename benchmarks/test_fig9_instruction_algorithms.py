@@ -1,0 +1,49 @@
+"""Figure 9 — average ratios of instruction-compression algorithms.
+
+Byte-Huffman (Kozuch & Wolfe) vs SAMC vs SADC, averaged over the suite,
+for both MIPS and x86.  Paper shape: on MIPS both new schemes beat
+Huffman substantially; on Pentium the gap narrows, with SAMC only
+slightly ahead of Huffman; SADC wins everywhere.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.experiments import compression_ratio
+from repro.analysis.tables import format_averages
+
+ALGORITHMS = ("huffman", "SAMC", "SADC")
+
+
+def _figure9(mips_suite, x86_suite):
+    averages = {}
+    for isa, suite in (("mips", mips_suite), ("x86", x86_suite)):
+        averages[isa] = {
+            algorithm: sum(
+                compression_ratio(code, algorithm, isa)
+                for code in suite.values()
+            ) / len(suite)
+            for algorithm in ALGORITHMS
+        }
+    return averages
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_average_ratios(benchmark, mips_suite, x86_suite, results_dir):
+    averages = benchmark.pedantic(
+        _figure9, args=(mips_suite, x86_suite), rounds=1, iterations=1
+    )
+    publish(results_dir, "fig9_averages",
+            format_averages(averages,
+                            title="Figure 9 — instruction compression averages"))
+
+    mips, x86 = averages["mips"], averages["x86"]
+    # MIPS: SAMC and SADC substantially better than byte-Huffman.
+    assert mips["SAMC"] < mips["huffman"] - 0.03
+    assert mips["SADC"] < mips["huffman"] - 0.08
+    # x86: the SAMC-vs-Huffman difference "is not as big".
+    assert x86["SAMC"] < x86["huffman"] + 0.02
+    assert (mips["huffman"] - mips["SAMC"]) > (x86["huffman"] - x86["SAMC"])
+    # SADC performs much better than SAMC on both targets.
+    assert x86["SADC"] < x86["SAMC"]
+    assert mips["SADC"] < mips["SAMC"]

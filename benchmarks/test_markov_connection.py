@@ -1,0 +1,47 @@
+"""tab-markov — Figure 4: connected vs independent Markov trees.
+
+"Compression performance can be improved by connecting the Markov trees
+of adjacent streams."  We sweep the connection order on a suite subset
+and check payload ratios improve monotonically (while model storage
+doubles per extra bit — the trade the paper is making).
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.tables import format_mapping
+from repro.core.samc import SamcCodec
+
+CONNECT_BITS = (0, 1, 2)
+SUBSET = ("compress", "gcc", "swim", "vortex")
+
+
+def _sweep(mips_suite):
+    results = {}
+    for bits in CONNECT_BITS:
+        codec = SamcCodec.for_mips(connect_bits=bits)
+        payloads = []
+        model_bytes = 0
+        for name in SUBSET:
+            image = codec.compress(mips_suite[name])
+            payloads.append(image.payload_ratio)
+            model_bytes = image.model_bytes
+        results[f"connect={bits} payload"] = sum(payloads) / len(payloads)
+        results[f"connect={bits} model bytes"] = model_bytes
+    return results
+
+
+@pytest.mark.benchmark(group="tab-markov")
+def test_markov_tree_connection(benchmark, mips_suite, results_dir):
+    results = benchmark.pedantic(_sweep, args=(mips_suite,),
+                                 rounds=1, iterations=1)
+    publish(results_dir, "tab_markov",
+            format_mapping(results,
+                           title="Connected Markov trees (Figure 4 ablation)"))
+
+    # Payload improves with connection order…
+    assert (results["connect=1 payload"] < results["connect=0 payload"])
+    assert (results["connect=2 payload"] <= results["connect=1 payload"] + 0.005)
+    # …while the probability memory doubles per context bit.
+    assert results["connect=1 model bytes"] > 1.9 * results["connect=0 model bytes"] - 64
+    assert results["connect=2 model bytes"] > 1.9 * results["connect=1 model bytes"] - 64

@@ -1,0 +1,50 @@
+"""tab-positional — quantifying the paper's critique of byte-Huffman.
+
+"8-bit symbols have been used instead of 32-bit symbols … all 4 bytes
+within the same 32-bit word are encoded using the same table.  Since
+instructions have different fields which have different statistical
+characteristics such a choice increases the entropy of the source
+significantly."  We measure the ladder: plain byte-Huffman (one table)
+→ positional Huffman (table per byte position) → SAMC (per-stream
+Markov models), each step recovering more of that structure.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.tables import format_mapping
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.baselines.positional_huffman import PositionalHuffmanCodec
+from repro.core.samc import SamcCodec
+
+SUBSET = ("compress", "gcc", "mgrid", "vortex")
+
+
+def _sweep(mips_suite):
+    results = {}
+    schemes = {
+        "plain huffman": lambda code: ByteHuffmanCodec().compress(code),
+        "positional huffman": lambda code: PositionalHuffmanCodec().compress(code),
+        "SAMC": lambda code: SamcCodec.for_mips().compress(code),
+    }
+    for label, compress in schemes.items():
+        payloads = [
+            compress(mips_suite[name]).payload_ratio for name in SUBSET
+        ]
+        results[f"{label} payload"] = sum(payloads) / len(payloads)
+    return results
+
+
+@pytest.mark.benchmark(group="tab-positional")
+def test_positional_table_ladder(benchmark, mips_suite, results_dir):
+    results = benchmark.pedantic(_sweep, args=(mips_suite,),
+                                 rounds=1, iterations=1)
+    publish(results_dir, "tab_positional",
+            format_mapping(results,
+                           title="One table -> per-position tables -> "
+                                 "Markov streams"))
+
+    assert (results["positional huffman payload"]
+            < results["plain huffman payload"] - 0.02)
+    assert (results["SAMC payload"]
+            < results["positional huffman payload"])

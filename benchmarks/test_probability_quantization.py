@@ -1,0 +1,56 @@
+"""tab-quant — Section 3: power-of-two probability constraint.
+
+"To avoid the multiplication in the midpoint calculation unit we can
+constrain the probability of the less probable symbol to the nearest
+integral power of 1/2 … the worst-case efficiency is about 95%."
+We measure the payload cost of the shift-only decoder against the
+full-precision coder and check it stays within the Witten et al. band.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.tables import format_mapping
+from repro.core.samc import SamcCodec
+from repro.core.samc.codec import PROBABILITY_BITS
+
+SUBSET = ("compress", "gcc", "mgrid", "xlisp")
+
+
+def _sweep(mips_suite):
+    results = {}
+    for mode in ("full16", "full", "pow2"):
+        codec = SamcCodec.for_mips(probability_mode=mode)
+        payloads = []
+        model_bytes = 0
+        for name in SUBSET:
+            image = codec.compress(mips_suite[name])
+            payloads.append(image.payload_ratio)
+            model_bytes = image.model_bytes
+        results[f"{mode} payload"] = sum(payloads) / len(payloads)
+        results[f"{mode} model bytes"] = model_bytes
+    return results
+
+
+@pytest.mark.benchmark(group="tab-quant")
+def test_probability_quantization(benchmark, mips_suite, results_dir):
+    results = benchmark.pedantic(_sweep, args=(mips_suite,),
+                                 rounds=1, iterations=1)
+    publish(results_dir, "tab_quant",
+            format_mapping(results,
+                           title="Probability quantisation (shift-only decoder)"))
+
+    full16 = results["full16 payload"]
+    full8 = results["full payload"]
+    pow2 = results["pow2 payload"]
+    # 8-bit storage costs almost nothing relative to 16-bit.
+    assert full8 <= full16 * 1.02
+    # The power-of-two constraint costs a bounded few percent (Witten's
+    # ~95% worst-case efficiency; typical loss is smaller).
+    assert pow2 <= full16 * 1.10
+    assert pow2 >= full16 - 0.01  # it should not *win*
+    # Storage ordering mirrors the stored bits per probability.
+    assert (PROBABILITY_BITS["pow2"] < PROBABILITY_BITS["full"]
+            < PROBABILITY_BITS["full16"])
+    assert (results["pow2 model bytes"] < results["full model bytes"]
+            < results["full16 model bytes"])

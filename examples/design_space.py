@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Design-space exploration: block size × cache size × algorithm.
+
+The CAD question behind the paper ("to understand the limits of program
+compressibility as a CAD problem"): for a given program, which corner of
+the (cache block size, I-cache size, compression scheme) space gives the
+best memory-saved-per-slowdown?  This sweep prints the whole grid and
+flags the Pareto-best configurations.
+
+Run:  python examples/design_space.py
+"""
+
+from typing import List, Tuple
+
+from repro.core.sadc import MipsSadcCodec
+from repro.core.samc import SamcCodec
+from repro.memory import CompressedMemorySystem, generate_trace
+from repro.workloads import generate_benchmark
+
+BLOCK_SIZES = (16, 32, 64)
+CACHE_SIZES = (1024, 4096)
+TRACE_FETCHES = 60_000
+
+
+def main() -> None:
+    program = generate_benchmark("go", "mips", scale=1.5).code
+    print(f"program: go ({len(program)} bytes)\n")
+
+    rows: List[Tuple[str, int, int, float, float]] = []
+    for block_size in BLOCK_SIZES:
+        images = {
+            "SAMC": SamcCodec.for_mips(block_size=block_size).compress(program),
+            "SADC": MipsSadcCodec(block_size=block_size).compress(program),
+        }
+        for cache_size in CACHE_SIZES:
+            trace = list(generate_trace(len(program), TRACE_FETCHES, seed=4))
+            baseline = CompressedMemorySystem(
+                len(program), cache_size=cache_size, block_size=block_size
+            ).run(trace)
+            for name, image in images.items():
+                run = CompressedMemorySystem(
+                    len(program), image=image,
+                    cache_size=cache_size, block_size=block_size,
+                ).run(trace)
+                rows.append((
+                    name, block_size, cache_size,
+                    image.compression_ratio, run.slowdown_vs(baseline),
+                ))
+
+    pareto = _pareto(rows)
+    header = (f"{'scheme':<6} {'block':>6} {'cache':>6} "
+              f"{'ratio':>7} {'slowdown':>9}  pareto")
+    print(header)
+    print("-" * len(header))
+    for row in sorted(rows, key=lambda r: (r[0], r[1], r[2])):
+        star = "  *" if row in pareto else ""
+        print(f"{row[0]:<6} {row[1]:>6} {row[2]:>6} "
+              f"{row[3]:>7.3f} {row[4]:>9.3f}{star}")
+
+    print("\n'*' marks configurations no other point dominates on both "
+          "stored size and slowdown.")
+
+
+def _pareto(rows):
+    best = []
+    for row in rows:
+        dominated = any(
+            other[3] <= row[3] and other[4] <= row[4]
+            and (other[3] < row[3] or other[4] < row[4])
+            for other in rows
+        )
+        if not dominated:
+            best.append(row)
+    return best
+
+
+if __name__ == "__main__":
+    main()

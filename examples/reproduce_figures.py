@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate Figures 7, 8 and 9 of the paper in one run.
+
+Prints the three result tables the paper plots.  Absolute values come
+from synthetic SPEC95 stand-ins (see DESIGN.md), so compare *shapes*:
+who wins, by roughly what factor, and how the ordering changes between
+the RISC and CISC targets.
+
+Run:  python examples/reproduce_figures.py [--scale 2.0] [--quick]
+"""
+
+import argparse
+
+from repro.analysis.experiments import (
+    FIGURE_ALGORITHMS,
+    average_ratios,
+    run_suite,
+)
+from repro.analysis.tables import format_averages, format_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=2.0,
+                        help="benchmark size multiplier (default 2.0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run a 4-benchmark subset for a fast preview")
+    args = parser.parse_args()
+
+    names = ("compress", "gcc", "swim", "vortex") if args.quick else None
+
+    fig7 = run_suite("mips", FIGURE_ALGORITHMS, scale=args.scale, names=names)
+    print(format_suite(fig7, title="Figure 7 — MIPS compression ratios"))
+    print()
+
+    fig8 = run_suite("x86", FIGURE_ALGORITHMS, scale=args.scale, names=names)
+    print(format_suite(fig8, title="Figure 8 — Pentium Pro compression ratios"))
+    print()
+
+    fig9 = {}
+    for isa, rows in (("mips", None), ("x86", None)):
+        rows = run_suite(isa, ("huffman", "SAMC", "SADC"),
+                         scale=args.scale, names=names)
+        fig9[isa] = average_ratios(rows)
+    print(format_averages(fig9, title="Figure 9 — instruction compression "
+                                      "algorithm averages"))
+
+    print("\npaper shapes to check: gzip < SADC < SAMC ~ compress < "
+          "huffman on MIPS; SAMC loses its edge on x86; SADC beats SAMC "
+          "everywhere.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Execute real programs directly out of compressed memory.
+
+This is the whole point of the paper, demonstrated end to end: programs
+live *compressed* in main memory; the CPU executes normal MIPS code; on
+every I-cache miss the refill engine looks the block up in the LAT,
+decompresses it with the real codec, and hands the CPU its instructions.
+If a single bit anywhere in the pipeline were wrong, the kernels below
+would compute wrong answers.
+
+For each kernel (memcpy, dot product, Fibonacci, bubble sort, checksum)
+we run natively and then through SAMC- and SADC-compressed memory,
+verify identical results, and report the compression and fetch-cycle
+cost.
+
+Run:  python examples/run_from_compressed_memory.py
+"""
+
+from repro.core.sadc import MipsSadcCodec
+from repro.core.samc import SamcCodec
+from repro.isa.mips.interp import MipsMachine
+from repro.isa.x86.interp import X86Machine
+from repro.memory.fetchsim import CompressedFetchPort, run_compressed
+from repro.workloads.kernels import KERNELS, run_kernel
+from repro.workloads.x86_kernels import X86_KERNELS, run_x86_kernel
+
+
+def main() -> None:
+    header = (f"{'kernel':<12} {'code':>6} {'scheme':<6} {'ratio':>7} "
+              f"{'refills':>8} {'hit%':>6} {'cyc/instr':>10} {'result':>8}")
+    print(header)
+    print("-" * len(header))
+
+    for kernel in KERNELS:
+        code = kernel.code()
+        native = run_kernel(kernel)
+        assert kernel.check(native)
+
+        for label, image in (
+            ("SAMC", SamcCodec.for_mips().compress(code)),
+            ("SADC", MipsSadcCodec().compress(code)),
+        ):
+            machine = MipsMachine()
+            machine.load_code(code)
+            kernel.setup(machine)
+            result = run_compressed(image, machine, cache_size=256)
+            ok = kernel.check(machine) and (
+                machine.state().registers == native.state().registers
+            )
+            print(f"{kernel.name:<12} {len(code):>6} {label:<6} "
+                  f"{image.compression_ratio:>7.3f} {result.refills:>8} "
+                  f"{100 * result.hit_ratio:>5.1f}% "
+                  f"{result.fetch_cycles_per_instruction:>10.2f} "
+                  f"{'OK' if ok else 'FAIL':>8}")
+
+    # -- the CISC path: variable-length fetches spanning block boundaries
+    print()
+    for kernel in X86_KERNELS:
+        code = kernel.code()
+        native = run_x86_kernel(kernel)
+        assert kernel.check(native)
+        image = SamcCodec.for_bytes().compress(code)
+        port = CompressedFetchPort(image, cache_size=256)
+        machine = X86Machine(fetch_bytes=port.fetch_bytes)
+        machine.load_code(code)
+        kernel.setup(machine)
+        machine.run()
+        ok = kernel.check(machine) and machine.regs == native.regs
+        cyc = port.cycles / max(1, machine.instructions_executed)
+        print(f"{kernel.name:<12} {len(code):>6} {'x86':<6} "
+              f"{image.compression_ratio:>7.3f} {port.refills:>8} "
+              f"{100 * port.cache.stats.hit_ratio:>5.1f}% "
+              f"{cyc:>10.2f} {'OK' if ok else 'FAIL':>8}")
+
+    print("\nevery kernel computed identical results fetching through the "
+          "decompressing refill engine (LAT -> CLB -> block decode) — on "
+          "MIPS with word fetches, on x86 with variable-length fetches "
+          "spanning block boundaries.")
+    print("note: tiny kernels carry the full model tables, so their "
+          "ratios exceed 1 — code compression pays off at program scale, "
+          "not for 40-byte loops.")
+
+
+if __name__ == "__main__":
+    main()

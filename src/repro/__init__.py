@@ -1,0 +1,45 @@
+"""Reproduction of "Code Compression for Embedded Systems" (DAC 1998).
+
+Lekatsas & Wolf's two cache-block code-compression algorithms, with every
+substrate they depend on:
+
+* :mod:`repro.core.samc` — Semiadaptive Markov Compression (ISA-independent
+  statistical coding: per-stream binary Markov trees + arithmetic coding).
+* :mod:`repro.core.sadc` — Semiadaptive Dictionary Compression
+  (ISA-dependent: opcode dictionary + Huffman-coded operand streams).
+* :mod:`repro.isa` — MIPS and x86 instruction-set models.
+* :mod:`repro.baselines` — LZW (``compress``), LZSS+Huffman (``gzip``
+  stand-in), and byte-based Huffman (Kozuch & Wolfe) comparators.
+* :mod:`repro.memory` — the Wolfe/Chanin decompress-on-cache-miss memory
+  system (I-cache, LAT, CLB, refill engine).
+* :mod:`repro.workloads` — synthetic SPEC95-like benchmark generator.
+
+Quickstart::
+
+    from repro import samc_compress, samc_decompress
+    from repro.workloads import generate_benchmark
+
+    program = generate_benchmark("gcc", "mips")
+    image = samc_compress(program.code)
+    assert samc_decompress(image) == program.code
+    print(image.compression_ratio)
+"""
+
+from repro.core import (
+    CompressedImage,
+    sadc_compress,
+    sadc_decompress,
+    samc_compress,
+    samc_decompress,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedImage",
+    "sadc_compress",
+    "sadc_decompress",
+    "samc_compress",
+    "samc_decompress",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Experiment drivers and result formatting."""
+
+from repro.analysis.experiments import (
+    ALL_ALGORITHMS,
+    FIGURE_ALGORITHMS,
+    SuiteRow,
+    average_ratios,
+    compression_ratio,
+    run_benchmark,
+    run_suite,
+)
+from repro.analysis.entropy_report import EntropyReport, analyze_mips
+from repro.analysis.tables import format_averages, format_mapping, format_suite
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "EntropyReport",
+    "FIGURE_ALGORITHMS",
+    "analyze_mips",
+    "SuiteRow",
+    "average_ratios",
+    "compression_ratio",
+    "format_averages",
+    "format_mapping",
+    "format_suite",
+    "run_benchmark",
+    "run_suite",
+]

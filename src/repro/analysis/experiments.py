@@ -1,0 +1,108 @@
+"""Experiment drivers: the compression-ratio sweeps behind Figs. 7-9.
+
+Each figure is "for every benchmark, the ratio compressed/original under
+each algorithm"; :func:`run_suite` produces exactly those series, and
+:func:`average_ratios` collapses them into the Figure-9 averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.baselines.gzipish import gzipish_compress
+from repro.baselines.lzw import lzw_compress
+from repro.core.sadc import MipsSadcCodec, X86SadcCodec
+from repro.core.samc import SamcCodec
+from repro.workloads.suite import Program, generate_benchmark
+from repro.workloads.profiles import BENCHMARK_NAMES
+
+#: Figure 7/8 algorithm set, in the figures' legend order.
+FIGURE_ALGORITHMS = ("compress", "gzip", "SAMC", "SADC")
+#: Figure 9 adds the byte-Huffman prior art.
+ALL_ALGORITHMS = ("compress", "gzip", "huffman", "SAMC", "SADC")
+
+
+def compression_ratio(
+    code: bytes, algorithm: str, isa: str, block_size: int = 32
+) -> float:
+    """Compressed/original ratio of one algorithm on one code image.
+
+    File-oriented baselines (compress, gzip) have no blocks, tables, or
+    LAT; block-oriented algorithms (huffman, SAMC, SADC) report the full
+    honest total including model tables and the compacted LAT.
+    """
+    if not code:
+        return 1.0
+    if algorithm == "compress":
+        return len(lzw_compress(code)) / len(code)
+    if algorithm == "gzip":
+        return len(gzipish_compress(code)) / len(code)
+    if algorithm == "huffman":
+        return ByteHuffmanCodec(block_size).compress(code).compression_ratio
+    if algorithm == "SAMC":
+        codec = (
+            SamcCodec.for_mips(block_size=block_size)
+            if isa == "mips"
+            else SamcCodec.for_bytes(block_size=block_size)
+        )
+        return codec.compress(code).compression_ratio
+    if algorithm == "SADC":
+        codec = (
+            MipsSadcCodec(block_size=block_size)
+            if isa == "mips"
+            else X86SadcCodec(block_size=block_size)
+        )
+        return codec.compress(code).compression_ratio
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+@dataclass
+class SuiteRow:
+    """One benchmark's ratios across algorithms (one bar group)."""
+
+    benchmark: str
+    size_bytes: int
+    ratios: Dict[str, float] = field(default_factory=dict)
+
+
+def run_benchmark(
+    program: Program,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    block_size: int = 32,
+) -> SuiteRow:
+    """All algorithms on one generated benchmark."""
+    row = SuiteRow(benchmark=program.name, size_bytes=program.size_bytes)
+    for algorithm in algorithms:
+        row.ratios[algorithm] = compression_ratio(
+            program.code, algorithm, program.isa, block_size
+        )
+    return row
+
+
+def run_suite(
+    isa: str,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    scale: float = 1.0,
+    block_size: int = 32,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[SuiteRow]:
+    """The full figure sweep: every benchmark × every algorithm."""
+    rows = []
+    for name in names or BENCHMARK_NAMES:
+        program = generate_benchmark(name, isa, scale=scale, seed=seed)
+        rows.append(run_benchmark(program, algorithms, block_size))
+    return rows
+
+
+def average_ratios(rows: Sequence[SuiteRow]) -> Dict[str, float]:
+    """Per-algorithm mean ratio across benchmarks (Figure 9's bars)."""
+    if not rows:
+        return {}
+    algorithms = rows[0].ratios.keys()
+    return {
+        algorithm: sum(row.ratios[algorithm] for row in rows) / len(rows)
+        for algorithm in algorithms
+    }

@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results (the figures as tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.analysis.experiments import SuiteRow
+
+
+def format_suite(rows: Sequence[SuiteRow], title: str = "") -> str:
+    """Render per-benchmark ratios as an aligned text table."""
+    if not rows:
+        return "(no results)"
+    algorithms = list(rows[0].ratios.keys())
+    name_width = max(len("benchmark"), max(len(r.benchmark) for r in rows))
+    header = "benchmark".ljust(name_width) + "".join(
+        f"  {algorithm:>9}" for algorithm in algorithms
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = "".join(f"  {row.ratios[a]:9.3f}" for a in algorithms)
+        lines.append(row.benchmark.ljust(name_width) + cells)
+    averages = {
+        a: sum(r.ratios[a] for r in rows) / len(rows) for a in algorithms
+    }
+    lines.append("-" * len(header))
+    lines.append(
+        "average".ljust(name_width)
+        + "".join(f"  {averages[a]:9.3f}" for a in algorithms)
+    )
+    return "\n".join(lines)
+
+
+def format_averages(
+    averages_by_isa: Mapping[str, Mapping[str, float]], title: str = ""
+) -> str:
+    """Render the Figure-9 style cross-ISA average comparison."""
+    isas = list(averages_by_isa.keys())
+    algorithms: Dict[str, None] = {}
+    for averages in averages_by_isa.values():
+        for algorithm in averages:
+            algorithms.setdefault(algorithm)
+    header = "algorithm".ljust(12) + "".join(f"  {isa:>8}" for isa in isas)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for algorithm in algorithms:
+        cells = "".join(
+            f"  {averages_by_isa[isa].get(algorithm, float('nan')):8.3f}"
+            for isa in isas
+        )
+        lines.append(algorithm.ljust(12) + cells)
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], title: str = "") -> str:
+    """Key/value block for miscellaneous reports."""
+    width = max((len(str(k)) for k in mapping), default=1)
+    lines = [title] if title else []
+    for key, value in mapping.items():
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(key).ljust(width)}  {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Baseline compressors the paper compares against.
+
+* :mod:`repro.baselines.lzw` — UNIX ``compress`` (file-oriented LZW).
+* :mod:`repro.baselines.gzipish` — gzip stand-in (LZSS + Huffman).
+* :mod:`repro.baselines.byte_huffman` — Kozuch & Wolfe byte Huffman
+  (block-oriented; the prior instruction-compression state of the art).
+"""
+
+from repro.baselines.byte_huffman import ByteHuffmanCodec, byte_huffman_ratio
+from repro.baselines.positional_huffman import (
+    PositionalHuffmanCodec,
+    positional_huffman_ratio,
+)
+from repro.baselines.gzipish import (
+    gzipish_compress,
+    gzipish_decompress,
+    gzipish_ratio,
+)
+from repro.baselines.lzss import Literal, Match, detokenize, tokenize
+from repro.baselines.lzw import lzw_compress, lzw_decompress, lzw_ratio
+
+__all__ = [
+    "ByteHuffmanCodec",
+    "Literal",
+    "Match",
+    "PositionalHuffmanCodec",
+    "positional_huffman_ratio",
+    "byte_huffman_ratio",
+    "detokenize",
+    "gzipish_compress",
+    "gzipish_decompress",
+    "gzipish_ratio",
+    "lzw_compress",
+    "lzw_decompress",
+    "lzw_ratio",
+    "tokenize",
+]

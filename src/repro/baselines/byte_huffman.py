@@ -1,0 +1,81 @@
+"""Byte-based Huffman coding — the Kozuch & Wolfe baseline of Figure 9.
+
+One semiadaptive Huffman table over the program's byte distribution;
+every cache block encodes independently (Huffman is stateless, so block
+random access is free — the property that made this the prior state of
+the art for compressed-code memories).  Its weakness, which the paper
+calls out, is treating all four bytes of a 32-bit instruction as draws
+from a single distribution, ignoring per-field statistics — exactly what
+SAMC's stream subdivision fixes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bitstream.io import BitReader, BitWriter
+from repro.core.lat import CompressedImage, split_blocks
+from repro.entropy.huffman import (
+    HuffmanCode,
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_code,
+)
+
+DEFAULT_BLOCK_SIZE = 32
+
+
+class ByteHuffmanCodec:
+    """Block-oriented byte Huffman compressor (Kozuch & Wolfe)."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size <= 0:
+            raise ValueError("block size must be positive")
+        self.block_size = block_size
+
+    def compress(self, code: bytes) -> CompressedImage:
+        """Compress a code image block by block under one shared table."""
+        table = build_code(Counter(code))
+        encoder = HuffmanEncoder(table)
+        blocks = []
+        for block in split_blocks(code, self.block_size):
+            writer = BitWriter()
+            encoder.encode_to(writer, list(block))
+            blocks.append(writer.getvalue())
+        return CompressedImage(
+            algorithm="byte-huffman",
+            original_size=len(code),
+            block_size=self.block_size,
+            blocks=blocks,
+            model_bytes=(table.table_bits(8) + 7) // 8,
+            metadata={"code": table},
+        )
+
+    def decompress(self, image: CompressedImage) -> bytes:
+        return b"".join(
+            self.decompress_block(image, index)
+            for index in range(image.block_count())
+        )
+
+    def decompress_block(self, image: CompressedImage, block_index: int) -> bytes:
+        """Random-access decode of one cache block."""
+        table: HuffmanCode = image.metadata["code"]
+        decoder = HuffmanDecoder(table)
+        count = self._original_block_bytes(image, block_index)
+        symbols = decoder.decode(image.blocks[block_index], count)
+        return bytes(symbols)
+
+    def _original_block_bytes(self, image: CompressedImage, block_index: int) -> int:
+        full_blocks, tail = divmod(image.original_size, image.block_size)
+        if block_index < full_blocks:
+            return image.block_size
+        if block_index == full_blocks and tail:
+            return tail
+        raise IndexError(f"block {block_index} out of range")
+
+
+def byte_huffman_ratio(code: bytes, block_size: int = DEFAULT_BLOCK_SIZE) -> float:
+    """Compressed/original ratio including table and LAT overhead."""
+    if not code:
+        return 1.0
+    return ByteHuffmanCodec(block_size).compress(code).compression_ratio

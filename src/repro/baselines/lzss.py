@@ -1,0 +1,101 @@
+"""LZSS: sliding-window match finding (the LZ77 half of gzip).
+
+A hash-chain matcher over a 32 KiB window with 3..258-byte matches —
+the same search structure and limits as DEFLATE.  The token stream
+(:class:`Literal` / :class:`Match`) is consumed by
+:mod:`repro.baselines.gzipish`, which entropy-codes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Union
+
+WINDOW_SIZE = 32 * 1024
+MIN_MATCH = 3
+MAX_MATCH = 258
+#: Hash-chain depth bound: the classic speed/ratio trade-off knob.
+MAX_CHAIN = 64
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A single uncompressed byte."""
+
+    byte: int
+
+
+@dataclass(frozen=True)
+class Match:
+    """A back-reference: copy ``length`` bytes from ``distance`` back."""
+
+    length: int
+    distance: int
+
+
+Token = Union[Literal, Match]
+
+
+def tokenize(data: bytes) -> List[Token]:
+    """Greedy LZSS parse of ``data`` into literals and matches."""
+    tokens: List[Token] = []
+    chains: Dict[bytes, List[int]] = {}
+    pos = 0
+    n = len(data)
+    while pos < n:
+        best_length = 0
+        best_distance = 0
+        if pos + MIN_MATCH <= n:
+            key = data[pos : pos + MIN_MATCH]
+            for candidate in reversed(chains.get(key, ())):
+                if pos - candidate > WINDOW_SIZE:
+                    break
+                length = _match_length(data, candidate, pos)
+                if length > best_length:
+                    best_length = length
+                    best_distance = pos - candidate
+                    if length >= MAX_MATCH:
+                        break
+        if best_length >= MIN_MATCH:
+            tokens.append(Match(best_length, best_distance))
+            end = pos + best_length
+            while pos < end:
+                if pos + MIN_MATCH <= n:
+                    _insert(chains, data[pos : pos + MIN_MATCH], pos)
+                pos += 1
+        else:
+            tokens.append(Literal(data[pos]))
+            if pos + MIN_MATCH <= n:
+                _insert(chains, data[pos : pos + MIN_MATCH], pos)
+            pos += 1
+    return tokens
+
+
+def _match_length(data: bytes, candidate: int, pos: int) -> int:
+    limit = min(MAX_MATCH, len(data) - pos)
+    length = 0
+    while length < limit and data[candidate + length] == data[pos + length]:
+        length += 1
+    return length
+
+
+def _insert(chains: Dict[bytes, List[int]], key: bytes, pos: int) -> None:
+    chain = chains.setdefault(key, [])
+    chain.append(pos)
+    if len(chain) > MAX_CHAIN:
+        del chain[0 : len(chain) - MAX_CHAIN]
+
+
+def detokenize(tokens: Iterator[Token]) -> bytes:
+    """Expand a token stream back to bytes."""
+    out = bytearray()
+    for token in tokens:
+        if isinstance(token, Literal):
+            out.append(token.byte)
+        else:
+            if token.distance < 1 or token.distance > len(out):
+                raise ValueError(f"bad match distance {token.distance}")
+            start = len(out) - token.distance
+            for i in range(token.length):  # may self-overlap, byte at a time
+                out.append(out[start + i])
+    return bytes(out)

@@ -1,0 +1,98 @@
+"""LZW compression — the UNIX ``compress(1)`` baseline of Figures 7/8.
+
+Variable-width codes growing from 9 to 16 bits, a CLEAR code that resets
+the dictionary when it fills, and greedy longest-prefix parsing: the same
+algorithm family as ``compress``.  This is a *file-oriented* coder — the
+dictionary is built adaptively along the stream, so decompression must
+start from byte 0.  That is precisely why the paper rules the Ziv-Lempel
+family out for compressed-code memories ("pointers to previous
+occurrences of strings … makes an individual block decompression scheme
+impossible"); it appears here purely as a compression-ratio yardstick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bitstream.io import BitReader, BitWriter
+
+MIN_BITS = 9
+MAX_BITS = 16
+CLEAR_CODE = 256
+FIRST_CODE = 257
+
+
+def lzw_compress(data: bytes) -> bytes:
+    """Compress with LZW (compress(1)-style variable-width codes)."""
+    writer = BitWriter()
+    # 16-bit big-endian length header so decompression is self-delimiting.
+    writer.write_bits(len(data) & 0xFFFFFFFF, 32)
+    if not data:
+        return writer.getvalue()
+
+    table: Dict[bytes, int] = {bytes([i]): i for i in range(256)}
+    next_code = FIRST_CODE
+    width = MIN_BITS
+    prefix = bytes([data[0]])
+    for byte in data[1:]:
+        candidate = prefix + bytes([byte])
+        if candidate in table:
+            prefix = candidate
+            continue
+        writer.write_bits(table[prefix], width)
+        if next_code < (1 << MAX_BITS):
+            table[candidate] = next_code
+            next_code += 1
+            if next_code > (1 << width) and width < MAX_BITS:
+                width += 1
+        else:
+            # Dictionary full: emit CLEAR and start over, like compress
+            # does when its ratio-check fires.
+            writer.write_bits(CLEAR_CODE, width)
+            table = {bytes([i]): i for i in range(256)}
+            next_code = FIRST_CODE
+            width = MIN_BITS
+        prefix = bytes([byte])
+    writer.write_bits(table[prefix], width)
+    return writer.getvalue()
+
+
+def lzw_decompress(payload: bytes) -> bytes:
+    """Inverse of :func:`lzw_compress`."""
+    reader = BitReader(payload)
+    length = reader.read_bits(32)
+    out = bytearray()
+    if length == 0:
+        return bytes(out)
+
+    table: List[bytes] = [bytes([i]) for i in range(256)] + [b""]  # slot 256 = CLEAR
+    width = MIN_BITS
+    previous = b""
+    while len(out) < length:
+        code = reader.read_bits(width)
+        if code == CLEAR_CODE:
+            table = [bytes([i]) for i in range(256)] + [b""]  # slot 256 = CLEAR
+            width = MIN_BITS
+            previous = b""
+            continue
+        if code < len(table) and table[code]:
+            entry = table[code]
+        elif code == len(table) and previous:
+            entry = previous + previous[:1]  # the KwKwK corner case
+        else:
+            raise ValueError(f"invalid LZW code {code}")
+        out.extend(entry)
+        if previous and len(table) < (1 << MAX_BITS):
+            table.append(previous + entry[:1])
+            # The encoder widens after *assigning* next_code; mirror it.
+            if len(table) + 1 > (1 << width) and width < MAX_BITS:
+                width += 1
+        previous = entry
+    return bytes(out[:length])
+
+
+def lzw_ratio(data: bytes) -> float:
+    """Compressed/original size ratio (the paper's metric)."""
+    if not data:
+        return 1.0
+    return len(lzw_compress(data)) / len(data)

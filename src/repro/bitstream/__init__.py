@@ -1,0 +1,24 @@
+"""Bit-level I/O and bit-field manipulation substrate."""
+
+from repro.bitstream.fields import (
+    bits_to_word,
+    chunk_words,
+    deposit_bits,
+    extract_bits,
+    sign_extend,
+    word_to_bits,
+    words_to_bytes,
+)
+from repro.bitstream.io import BitReader, BitWriter
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bits_to_word",
+    "chunk_words",
+    "deposit_bits",
+    "extract_bits",
+    "sign_extend",
+    "word_to_bits",
+    "words_to_bytes",
+]

@@ -1,0 +1,90 @@
+"""Bit-field helpers shared by the ISA models and SAMC stream machinery.
+
+A *bit position* in this package always refers to a bit index within a
+fixed-width word, counted from the most significant bit: position 0 of a
+32-bit MIPS instruction is bit 31 in hardware terms (the top bit of the
+opcode field).  Counting MSB-first keeps the mapping between the paper's
+stream diagrams (Figure 2) and our code direct: stream bits are listed in
+the order they are fed to the Markov model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def extract_bits(word: int, positions: Sequence[int], width: int) -> int:
+    """Gather the bits of ``word`` at MSB-first ``positions`` into an int.
+
+    The first listed position becomes the most significant bit of the
+    result.  ``width`` is the width of ``word``.
+    """
+    value = 0
+    for pos in positions:
+        if not 0 <= pos < width:
+            raise ValueError(f"bit position {pos} out of range for width {width}")
+        value = (value << 1) | ((word >> (width - 1 - pos)) & 1)
+    return value
+
+
+def deposit_bits(value: int, positions: Sequence[int], width: int) -> int:
+    """Scatter ``value`` back into a ``width``-bit word at ``positions``.
+
+    Inverse of :func:`extract_bits` for the covered positions; uncovered
+    positions are zero.
+    """
+    word = 0
+    nbits = len(positions)
+    for index, pos in enumerate(positions):
+        if not 0 <= pos < width:
+            raise ValueError(f"bit position {pos} out of range for width {width}")
+        bit = (value >> (nbits - 1 - index)) & 1
+        word |= bit << (width - 1 - pos)
+    return word
+
+
+def word_to_bits(word: int, width: int) -> List[int]:
+    """Explode a word into a list of bits, MSB first."""
+    return [(word >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_word(bits: Iterable[int]) -> int:
+    """Collapse an MSB-first bit list back into an integer."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+def chunk_words(data: bytes, word_bytes: int) -> List[int]:
+    """Split ``data`` into big-endian fixed-width words.
+
+    Raises :class:`ValueError` when the data is not a whole number of words
+    — a compressed-code image must cover complete instructions.
+    """
+    if len(data) % word_bytes != 0:
+        raise ValueError(
+            f"data length {len(data)} is not a multiple of word size {word_bytes}"
+        )
+    return [
+        int.from_bytes(data[i : i + word_bytes], "big")
+        for i in range(0, len(data), word_bytes)
+    ]
+
+
+def words_to_bytes(words: Iterable[int], word_bytes: int) -> bytes:
+    """Serialise fixed-width words back to big-endian bytes."""
+    out = bytearray()
+    for word in words:
+        out.extend(int(word).to_bytes(word_bytes, "big"))
+    return bytes(out)

@@ -1,0 +1,129 @@
+"""MSB-first bit-level I/O.
+
+Every coder in this package (Huffman, arithmetic, LZW, LZSS) reads and
+writes *bit streams*, not byte streams.  The convention throughout is
+MSB-first: the first bit written becomes the most significant bit of the
+first output byte.  This matches how the paper's decompression engine
+consumes compressed code 8 bits at a time (``val = (val << 8) | get_byte()``
+in the Section 3 pseudocode).
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them to ``bytes``.
+
+    >>> w = BitWriter()
+    >>> w.write_bit(1); w.write_bits(0b0100000, 7)
+    >>> bytes(w.getvalue())
+    b'\\xa0'
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._buffer) + self._nbits
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far (alias of ``len``)."""
+        return len(self)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self._current = (self._current << 1) | bit
+        self._nbits += 1
+        if self._nbits == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes (8 bits each, MSB-first)."""
+        if self._nbits == 0:
+            self._buffer.extend(data)
+        else:
+            for byte in data:
+                self.write_bits(byte, 8)
+
+    def align_to_byte(self, fill: int = 0) -> None:
+        """Pad with ``fill`` bits until the stream is byte-aligned."""
+        while self._nbits != 0:
+            self.write_bit(fill)
+
+    def getvalue(self) -> bytes:
+        """Return the stream as bytes, zero-padding a partial final byte."""
+        if self._nbits == 0:
+            return bytes(self._buffer)
+        tail = self._current << (8 - self._nbits)
+        return bytes(self._buffer) + bytes([tail])
+
+
+class BitReader:
+    """Reads bits MSB-first from a ``bytes`` object.
+
+    Reading past the end raises :class:`EOFError` unless the reader was
+    constructed with ``pad=True``, in which case it yields 0 bits forever
+    (arithmetic decoders legitimately read a few bits past the payload).
+    """
+
+    def __init__(self, data: bytes, pad: bool = False) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+        self._pad = pad
+
+    @property
+    def bit_position(self) -> int:
+        """Current read position, in bits from the start."""
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left before the physical end of the buffer."""
+        return max(0, 8 * len(self._data) - self._pos)
+
+    def seek_bit(self, position: int) -> None:
+        """Jump to an absolute bit offset (enables block random access)."""
+        if position < 0:
+            raise ValueError("bit position must be non-negative")
+        self._pos = position
+
+    def read_bit(self) -> int:
+        """Read one bit; 0-fill past the end when padding is enabled."""
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            if self._pad:
+                self._pos += 1
+                return 0
+            raise EOFError("read past end of bit stream")
+        self._pos += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole bytes."""
+        return bytes(self.read_bits(8) for _ in range(count))

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro`` or ``repro-codec``.
+
+Subcommands
+-----------
+``ratio``     one benchmark × one algorithm → compression ratio
+``suite``     a Figure-7/8 style sweep for one ISA
+``figure``    regenerate fig7 / fig8 / fig9 directly
+``simulate``  run the decompress-on-miss memory-system simulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    ALL_ALGORITHMS,
+    FIGURE_ALGORITHMS,
+    average_ratios,
+    compression_ratio,
+    run_suite,
+)
+from repro.analysis.tables import format_averages, format_mapping, format_suite
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.core import decompress_image, load_image, save_image
+from repro.core.sadc import sadc_compress
+from repro.core.samc import SamcCodec
+from repro.memory import CompressedMemorySystem, RefillTiming, generate_trace
+from repro.workloads.profiles import BENCHMARK_NAMES
+from repro.workloads.suite import generate_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--isa", choices=("mips", "x86"), default="mips")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="benchmark size multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--block-size", type=int, default=32)
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.isa, args.scale, args.seed)
+    ratio = compression_ratio(program.code, args.algorithm, args.isa, args.block_size)
+    print(f"{args.benchmark}/{args.isa} {args.algorithm}: "
+          f"{len(program.code)} bytes, ratio {ratio:.3f}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    rows = run_suite(
+        args.isa,
+        algorithms=args.algorithms,
+        scale=args.scale,
+        block_size=args.block_size,
+        names=args.benchmarks or None,
+        seed=args.seed,
+    )
+    print(format_suite(rows, title=f"Compression ratios — {args.isa}"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name in ("fig7", "fig8"):
+        isa = "mips" if args.name == "fig7" else "x86"
+        rows = run_suite(isa, FIGURE_ALGORITHMS, scale=args.scale, seed=args.seed)
+        print(format_suite(rows, title=f"Figure {args.name[-1]} — {isa} ratios"))
+        return 0
+    if args.name == "fig9":
+        averages = {}
+        for isa in ("mips", "x86"):
+            rows = run_suite(
+                isa, ("huffman", "SAMC", "SADC"), scale=args.scale, seed=args.seed
+            )
+            averages[isa] = average_ratios(rows)
+        print(format_averages(averages, title="Figure 9 — average ratios"))
+        return 0
+    print(f"unknown figure {args.name!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    program = generate_benchmark(args.benchmark, args.isa, args.scale, args.seed)
+    if args.algorithm == "SAMC":
+        codec = (SamcCodec.for_mips() if args.isa == "mips"
+                 else SamcCodec.for_bytes())
+        image = codec.compress(program.code)
+    elif args.algorithm == "SADC":
+        image = sadc_compress(program.code, isa=args.isa)
+    else:
+        print("simulate supports SAMC or SADC", file=sys.stderr)
+        return 2
+    trace = list(generate_trace(len(program.code), args.fetches, seed=args.seed))
+    timing = RefillTiming()
+    baseline = CompressedMemorySystem(
+        len(program.code), image=None, cache_size=args.cache_size, timing=timing
+    ).run(trace)
+    compressed = CompressedMemorySystem(
+        len(program.code), image=image, cache_size=args.cache_size, timing=timing
+    ).run(trace)
+    print(format_mapping({
+        "benchmark": program.name,
+        "algorithm": image.algorithm,
+        "compression ratio": image.compression_ratio,
+        "icache hit ratio": compressed.cache.hit_ratio,
+        "clb hit ratio": compressed.clb.hit_ratio if compressed.clb else 1.0,
+        "baseline cycles": baseline.cycles,
+        "compressed cycles": compressed.cycles,
+        "slowdown": compressed.slowdown_vs(baseline),
+    }, title=f"Memory-system simulation — {args.benchmark}/{args.isa}"))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.entropy_report import analyze_mips
+
+    program = generate_benchmark(args.benchmark, "mips", args.scale, args.seed)
+    report = analyze_mips(program.code)
+    print(format_mapping(
+        report.summary(),
+        title=f"Compressibility analysis — {args.benchmark}/mips",
+    ))
+    achieved = compression_ratio(program.code, "SAMC", "mips")
+    print(f"\nSAMC achieved ratio: {achieved:.3f} "
+          f"(Markov bound {report.markov_bound / 32:.3f} + tables/LAT)")
+    return 0
+
+
+def _cmd_compress_file(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    if args.algorithm == "SAMC":
+        # Byte-oriented SAMC: works for any binary, any length.
+        image = SamcCodec.for_bytes(block_size=args.block_size).compress(data)
+    else:
+        image = ByteHuffmanCodec(args.block_size).compress(data)
+    written = save_image(image, args.output)
+    print(f"{args.input}: {len(data)} -> {written} bytes on disk "
+          f"(accounted ratio {image.compression_ratio:.3f})")
+    return 0
+
+
+def _cmd_decompress_file(args: argparse.Namespace) -> int:
+    image = load_image(args.input)
+    data = decompress_image(image)
+    with open(args.output, "wb") as handle:
+        handle.write(data)
+    print(f"{args.input}: restored {len(data)} bytes ({image.algorithm})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-codec",
+        description="Code compression for embedded systems (DAC'98 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ratio = sub.add_parser("ratio", help="one benchmark × one algorithm")
+    _add_common(ratio)
+    ratio.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gcc")
+    ratio.add_argument("--algorithm", choices=ALL_ALGORITHMS, default="SAMC")
+    ratio.set_defaults(func=_cmd_ratio)
+
+    suite = sub.add_parser("suite", help="full benchmark sweep for one ISA")
+    _add_common(suite)
+    suite.add_argument("--algorithms", nargs="+", choices=ALL_ALGORITHMS,
+                       default=list(FIGURE_ALGORITHMS))
+    suite.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES)
+    suite.set_defaults(func=_cmd_suite)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=("fig7", "fig8", "fig9"))
+    figure.add_argument("--scale", type=float, default=1.0)
+    figure.add_argument("--seed", type=int, default=0)
+    figure.set_defaults(func=_cmd_figure)
+
+    simulate = sub.add_parser("simulate", help="memory-system simulation")
+    _add_common(simulate)
+    simulate.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gcc")
+    simulate.add_argument("--algorithm", choices=("SAMC", "SADC"), default="SAMC")
+    simulate.add_argument("--cache-size", type=int, default=4096)
+    simulate.add_argument("--fetches", type=int, default=100_000)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    analyze = sub.add_parser(
+        "analyze", help="entropy/compressibility breakdown of a benchmark"
+    )
+    _add_common(analyze)
+    analyze.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gcc")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    compress_file = sub.add_parser(
+        "compress-file", help="compress any binary to the on-ROM format"
+    )
+    compress_file.add_argument("input")
+    compress_file.add_argument("output")
+    compress_file.add_argument("--algorithm", choices=("SAMC", "huffman"),
+                               default="SAMC")
+    compress_file.add_argument("--block-size", type=int, default=32)
+    compress_file.set_defaults(func=_cmd_compress_file)
+
+    decompress_file = sub.add_parser(
+        "decompress-file", help="restore a binary from the on-ROM format"
+    )
+    decompress_file.add_argument("input")
+    decompress_file.add_argument("output")
+    decompress_file.set_defaults(func=_cmd_decompress_file)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's core contribution: SAMC and SADC block compressors."""
+
+from repro.core.lat import (
+    CompactLAT,
+    CompressedImage,
+    LineAddressTable,
+    build_lat,
+    original_block_count,
+    split_blocks,
+)
+from repro.core.sadc import (
+    MipsSadcCodec,
+    X86SadcCodec,
+    sadc_compress,
+    sadc_decompress,
+)
+from repro.core.samc import SamcCodec, samc_compress, samc_decompress
+from repro.core.serialize import (
+    SerializationError,
+    deserialize_image,
+    load_image,
+    save_image,
+    serialize_image,
+)
+
+
+def decompress_image(image: CompressedImage) -> bytes:
+    """Decompress any image this package produced, by algorithm."""
+    if image.algorithm == "SAMC":
+        return samc_decompress(image)
+    if image.algorithm == "SADC":
+        return sadc_decompress(image)
+    if image.algorithm == "byte-huffman":
+        from repro.baselines.byte_huffman import ByteHuffmanCodec
+
+        return ByteHuffmanCodec(image.block_size).decompress(image)
+    raise ValueError(f"unknown algorithm {image.algorithm!r}")
+
+__all__ = [
+    "CompactLAT",
+    "CompressedImage",
+    "LineAddressTable",
+    "MipsSadcCodec",
+    "SamcCodec",
+    "SerializationError",
+    "X86SadcCodec",
+    "build_lat",
+    "decompress_image",
+    "deserialize_image",
+    "load_image",
+    "original_block_count",
+    "sadc_compress",
+    "sadc_decompress",
+    "samc_compress",
+    "samc_decompress",
+    "save_image",
+    "serialize_image",
+    "split_blocks",
+]

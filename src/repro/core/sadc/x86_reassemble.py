@@ -1,0 +1,70 @@
+"""Instruction reassembly for the x86 SADC decompressor.
+
+Given one instruction's prefixes+opcode bytes and callbacks that supply
+the next ModRM/SIB byte and the next *n* imm/disp bytes, rebuild the full
+:class:`~repro.isa.x86.formats.X86Instruction`.  This is the software
+model of the control-logic unit in the paper's decompressor block
+diagram: the opcode grammar plus the ModRM byte fully determine how many
+bytes each operand stream contributes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.x86.formats import (
+    IMM_NONE,
+    ONE_BYTE_TABLE,
+    OPERAND_SIZE_PREFIX,
+    TWO_BYTE_TABLE,
+    X86Instruction,
+    _disp_size,
+    _imm_size,
+    modrm_fields,
+)
+
+
+def split_opcode_entry(entry: bytes) -> tuple:
+    """Split a prefixes+opcode byte string into (prefixes, opcode)."""
+    if len(entry) >= 2 and entry[-2] == 0x0F:
+        return entry[:-2], entry[-2:]
+    return entry[:-1], entry[-1:]
+
+
+def reassemble_instruction(
+    entry: bytes,
+    next_modrm_byte: Callable[[], int],
+    next_imm_bytes: Callable[[int], bytes],
+) -> X86Instruction:
+    """Rebuild one instruction from its opcode entry and operand streams."""
+    prefixes, opcode = split_opcode_entry(entry)
+    if len(opcode) == 2:
+        info = TWO_BYTE_TABLE[opcode[1]]
+    else:
+        info = ONE_BYTE_TABLE[opcode[0]]
+
+    modrm = None
+    sib = None
+    if info.has_modrm:
+        modrm = next_modrm_byte()
+        mod, _reg, rm = modrm_fields(modrm)
+        if mod != 3 and rm == 4:
+            sib = next_modrm_byte()
+
+    mod, reg, rm = modrm_fields(modrm) if modrm is not None else (3, 0, 0)
+    disp_len = _disp_size(mod, rm, sib) if modrm is not None else 0
+    imm_kind = info.imm
+    if info.imm_by_reg is not None:
+        imm_kind = info.imm_by_reg.get(reg, IMM_NONE)
+    imm_len = _imm_size(imm_kind, OPERAND_SIZE_PREFIX in prefixes)
+
+    disp = next_imm_bytes(disp_len) if disp_len else b""
+    imm = next_imm_bytes(imm_len) if imm_len else b""
+    return X86Instruction(
+        prefixes=bytes(prefixes),
+        opcode=bytes(opcode),
+        modrm=modrm,
+        sib=sib,
+        disp=disp,
+        imm=imm,
+    )

@@ -1,0 +1,219 @@
+"""SAMC compressor / decompressor (Section 3 of the paper).
+
+Two-pass semiadaptive scheme:
+
+1. **Statistics gathering** — walk the whole program, building the
+   per-stream Markov trees (:class:`repro.core.samc.model.SamcModel`).
+2. **Compression** — walk the program again, feeding each bit and its
+   model prediction to the binary arithmetic coder.  The coder state,
+   Markov context, and tree pointers all reset at every cache-block
+   boundary, so the refill engine can decompress any block given only
+   its LAT offset.
+
+The codec is ISA-independent: it only assumes fixed-width words.  MIPS
+uses 32-bit words in four 8-bit streams; x86 falls back to 8-bit "words"
+(single stream), which is why SAMC loses most of its edge on CISC — the
+paper observes exactly this in Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bitstream.fields import chunk_words, words_to_bytes
+from repro.core.lat import CompressedImage
+from repro.core.samc.model import SamcModel
+from repro.core.samc.streams import contiguous_streams, optimize_streams
+from repro.entropy.arith import (
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+    quantize_power_of_two,
+    quantize_probability,
+    quantize_probability_8bit,
+)
+
+#: Bits per stored probability in the decoder's probability memory.
+PROBABILITY_BITS = {"full": 8, "full16": 16, "pow2": 5}
+QUANTIZERS = {
+    "full": quantize_probability_8bit,
+    "full16": quantize_probability,
+    "pow2": quantize_power_of_two,
+}
+
+DEFAULT_BLOCK_SIZE = 32
+
+
+class SamcCodec:
+    """Configurable SAMC codec.
+
+    Parameters
+    ----------
+    word_bits:
+        Instruction width; must be a multiple of 8 (32 for MIPS, 8 for a
+        byte-oriented CISC fallback).
+    streams:
+        Bit-position partition of the word.  Default: four equal
+        contiguous streams for 32-bit words, one stream for 8-bit words.
+    connect_bits:
+        Inter-stream Markov-tree connection order (Figure 4); 0 gives
+        independent trees.
+    block_size:
+        Cache-block size in bytes; every block compresses independently.
+    probability_mode:
+        ``"full"`` (8-bit stored probabilities, the default),
+        ``"full16"`` (16-bit), or ``"pow2"`` (shift-only decoder
+        hardware; less precise, per Witten et al. ~5% loss).
+    optimize:
+        When true, run the random-exchange stream optimiser on the
+        program before training (slower, slightly better ratios).
+    """
+
+    def __init__(
+        self,
+        word_bits: int = 32,
+        streams: Optional[Sequence[Sequence[int]]] = None,
+        connect_bits: int = 1,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        probability_mode: str = "full",
+        optimize: bool = False,
+        optimize_iterations: int = 150,
+    ) -> None:
+        if word_bits % 8 != 0 or word_bits <= 0:
+            raise ValueError("word_bits must be a positive multiple of 8")
+        if block_size % (word_bits // 8) != 0:
+            raise ValueError("block_size must hold a whole number of words")
+        if probability_mode not in PROBABILITY_BITS:
+            raise ValueError(f"unknown probability mode {probability_mode!r}")
+        self.word_bits = word_bits
+        self.word_bytes = word_bits // 8
+        self.block_size = block_size
+        self.connect_bits = connect_bits
+        self.probability_mode = probability_mode
+        self.optimize = optimize
+        self.optimize_iterations = optimize_iterations
+        if streams is None:
+            n_default = 4 if word_bits >= 32 else 1
+            streams = contiguous_streams(word_bits, n_default)
+        self.streams = [tuple(s) for s in streams]
+
+    @classmethod
+    def for_mips(cls, **kwargs) -> "SamcCodec":
+        """Paper configuration for MIPS: 32-bit words, four 8-bit streams."""
+        kwargs.setdefault("word_bits", 32)
+        return cls(**kwargs)
+
+    @classmethod
+    def for_bytes(cls, **kwargs) -> "SamcCodec":
+        """CISC fallback: byte-oriented coding, single connected stream."""
+        kwargs.setdefault("word_bits", 8)
+        kwargs.setdefault("connect_bits", 2)
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _quantizer(self):
+        return QUANTIZERS[self.probability_mode]
+
+    def _probability_bits(self) -> int:
+        return PROBABILITY_BITS[self.probability_mode]
+
+    def _block_words(self, code: bytes) -> List[List[int]]:
+        """Words grouped by cache block (last block may be short)."""
+        words = chunk_words(code, self.word_bytes)
+        per_block = self.block_size // self.word_bytes
+        return [
+            words[i : i + per_block] for i in range(0, len(words), per_block)
+        ]
+
+    def train(self, code: bytes) -> SamcModel:
+        """First pass: build and freeze the Markov model for a program."""
+        streams = self.streams
+        if self.optimize:
+            words = chunk_words(code, self.word_bytes)
+            streams, _entropy = optimize_streams(
+                words,
+                self.word_bits,
+                n_streams=len(self.streams),
+                iterations=self.optimize_iterations,
+                initial=self.streams,
+            )
+        model = SamcModel(self.word_bits, streams, self.connect_bits)
+        for block in self._block_words(code):
+            model.train_block(block)
+        model.freeze(self._quantizer())
+        return model
+
+    def compress(self, code: bytes) -> CompressedImage:
+        """Compress a code image into independently decodable blocks."""
+        if len(code) % self.word_bytes != 0:
+            raise ValueError(
+                f"code length {len(code)} is not a multiple of the "
+                f"{self.word_bytes}-byte word size"
+            )
+        model = self.train(code)
+        blocks: List[bytes] = []
+        for block_words in self._block_words(code):
+            encoder = BinaryArithmeticEncoder()
+            model.walk_encode(block_words, encoder.encode_bit)
+            blocks.append(encoder.finish())
+        return CompressedImage(
+            algorithm="SAMC",
+            original_size=len(code),
+            block_size=self.block_size,
+            blocks=blocks,
+            model_bytes=model.storage_bytes(self._probability_bits()),
+            metadata={
+                "model": model,
+                "word_bits": self.word_bits,
+                "streams": model.specs,
+                "connect_bits": self.connect_bits,
+                "probability_mode": self.probability_mode,
+            },
+        )
+
+    def decompress(self, image: CompressedImage) -> bytes:
+        """Decompress a full image (all blocks, in order)."""
+        return b"".join(
+            self.decompress_block(image, index)
+            for index in range(image.block_count())
+        )
+
+    def decompress_block(self, image: CompressedImage, block_index: int) -> bytes:
+        """Random-access decompression of a single cache block.
+
+        This is the refill-engine operation: only the block's own bytes
+        (located via the LAT) and the shared model are consulted.
+        """
+        model: SamcModel = image.metadata["model"]
+        payload = image.blocks[block_index]
+        block_bytes = self._original_block_bytes(image, block_index)
+        word_count = block_bytes // self.word_bytes
+        decoder = BinaryArithmeticDecoder(payload)
+        words = model.walk_decode(word_count, decoder.decode_bit)
+        return words_to_bytes(words, self.word_bytes)
+
+    def _original_block_bytes(self, image: CompressedImage, block_index: int) -> int:
+        full_blocks, tail = divmod(image.original_size, image.block_size)
+        if block_index < full_blocks:
+            return image.block_size
+        if block_index == full_blocks and tail:
+            return tail
+        raise IndexError(f"block {block_index} out of range")
+
+
+def samc_compress(code: bytes, **kwargs) -> CompressedImage:
+    """One-call SAMC compression with paper-default parameters."""
+    codec = SamcCodec(**kwargs)
+    return codec.compress(code)
+
+
+def samc_decompress(image: CompressedImage) -> bytes:
+    """Decompress an image produced by :func:`samc_compress`."""
+    codec = SamcCodec(
+        word_bits=image.metadata["word_bits"],
+        streams=[spec.positions for spec in image.metadata["streams"]],
+        connect_bits=image.metadata["connect_bits"],
+        block_size=image.block_size,
+        probability_mode=image.metadata["probability_mode"],
+    )
+    return codec.decompress(image)

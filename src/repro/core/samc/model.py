@@ -1,0 +1,259 @@
+"""SAMC's semiadaptive Markov model (Section 3 of the paper).
+
+Each *stream* — a chosen group of bit positions within the fixed-width
+instruction word — gets a **binary Markov tree**: one probability per
+internal node, where the node reached after consuming a bit-prefix
+``b0 b1 .. b(d-1)`` predicts the next bit of the stream.  A tree for a
+``k``-bit stream has ``2**k - 1`` internal nodes (the paper's
+``(2**(k+1) - 2) / 2`` stored probabilities: only left-branch
+probabilities are kept, right branches being their complements).
+
+Trees of adjacent streams are *connected* (Figure 4): the starting
+distribution of stream ``i+1`` is conditioned on the last
+``connect_bits`` bits produced by stream ``i``.  This gives the model
+limited memory across streams (and across instruction boundaries)
+without exploding storage — each tree is replicated once per context.
+
+The model is **semiadaptive**: trained in a first pass over the subject
+program, then frozen; compressor and decompressor walk the identical
+frozen tables, and the walk (context and node pointer) resets at every
+cache-block boundary so any block can be decompressed independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.entropy.arith import quantize_probability
+
+#: A quantiser maps a float probability to its 16-bit coded value.
+Quantizer = Callable[[float], int]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One stream: the MSB-first bit positions it covers in the word."""
+
+    positions: Tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.positions)
+
+
+def node_index(depth: int, prefix: int) -> int:
+    """Flat index of the Markov-tree node at ``depth`` with bit-``prefix``.
+
+    Depth-0 is the root (no bits consumed); a ``k``-bit stream has
+    internal nodes at depths ``0 .. k-1``, ``2**k - 1`` in total.
+    """
+    return (1 << depth) - 1 + prefix
+
+
+class StreamModel:
+    """The Markov tree(s) for a single stream.
+
+    ``contexts`` replicas of the tree exist, selected by the connection
+    context (the trailing bits of the previous stream).
+    """
+
+    def __init__(self, spec: StreamSpec, contexts: int) -> None:
+        if spec.k == 0:
+            raise ValueError("stream must cover at least one bit")
+        self.spec = spec
+        self.contexts = contexts
+        self._nodes = (1 << spec.k) - 1
+        self._counts = np.zeros((contexts, self._nodes, 2), dtype=np.int64)
+        self._p0_q: np.ndarray = np.array([])
+        self._frozen = False
+
+    @property
+    def node_count(self) -> int:
+        """Internal nodes per tree replica (stored probabilities)."""
+        return self._nodes
+
+    def observe(self, context: int, node: int, bit: int) -> None:
+        """Record one training observation."""
+        if self._frozen:
+            raise RuntimeError("model is frozen; cannot train further")
+        self._counts[context, node, bit] += 1
+
+    def freeze(self, quantizer: Quantizer = quantize_probability) -> None:
+        """Convert counts to quantised probabilities (KT-smoothed)."""
+        zeros = self._counts[:, :, 0].astype(np.float64)
+        totals = self._counts.sum(axis=2).astype(np.float64)
+        p0 = (zeros + 0.5) / (totals + 1.0)
+        quantize = np.vectorize(quantizer, otypes=[np.int64])
+        self._p0_q = quantize(p0)
+        self._frozen = True
+
+    def p0_quantized(self, context: int, node: int) -> int:
+        """Frozen quantised P(next bit = 0) at (context, node)."""
+        if not self._frozen:
+            raise RuntimeError("model must be frozen before coding")
+        return int(self._p0_q[context, node])
+
+    @property
+    def frozen_table(self) -> np.ndarray:
+        """The (contexts, nodes) table of quantised probabilities."""
+        if not self._frozen:
+            raise RuntimeError("model must be frozen first")
+        return self._p0_q
+
+    def load_frozen(self, table: np.ndarray) -> None:
+        """Restore a frozen probability table (deserialisation path)."""
+        if table.shape != (self.contexts, self._nodes):
+            raise ValueError(
+                f"table shape {table.shape} != "
+                f"({self.contexts}, {self._nodes})"
+            )
+        self._p0_q = table.astype(np.int64)
+        self._frozen = True
+
+
+class SamcModel:
+    """The complete per-program SAMC model: one tree group per stream.
+
+    Parameters
+    ----------
+    width:
+        Instruction width in bits (32 for MIPS, 8 for byte-oriented x86).
+    streams:
+        Bit-position groups.  Together they must cover every position of
+        the word exactly once (a partition), in coding order.
+    connect_bits:
+        How many trailing bits of the previous stream select the tree
+        replica of the next stream (0 disables connection — independent
+        trees, the Figure 3 baseline).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        streams: Sequence[Sequence[int]],
+        connect_bits: int = 1,
+    ) -> None:
+        if connect_bits < 0:
+            raise ValueError("connect_bits must be non-negative")
+        covered = sorted(pos for stream in streams for pos in stream)
+        if covered != list(range(width)):
+            raise ValueError(
+                f"streams must partition bit positions 0..{width - 1}, got {covered}"
+            )
+        self.width = width
+        self.connect_bits = connect_bits
+        self.specs = [StreamSpec(tuple(stream)) for stream in streams]
+        contexts = 1 << connect_bits
+        self.stream_models = [StreamModel(spec, contexts) for spec in self.specs]
+        self._frozen = False
+
+    # -- walking -------------------------------------------------------
+
+    def _context_from_bits(self, bits: List[int]) -> int:
+        """Connection context: the trailing ``connect_bits`` bits."""
+        if self.connect_bits == 0:
+            return 0
+        context = 0
+        for bit in bits[-self.connect_bits :]:
+            context = (context << 1) | bit
+        return context
+
+    def train_block(self, words: Sequence[int]) -> None:
+        """Accumulate counts over one cache block of words.
+
+        Training replays exactly the walk the coder will perform —
+        including the context reset at the block start — so the model
+        sees the same conditional events the coder asks it about.
+        """
+        if self._frozen:
+            raise RuntimeError("model is frozen; cannot train further")
+        context = 0
+        for word in words:
+            for spec, model in zip(self.specs, self.stream_models):
+                bits: List[int] = []
+                prefix = 0
+                for depth, pos in enumerate(spec.positions):
+                    bit = (word >> (self.width - 1 - pos)) & 1
+                    model.observe(context, node_index(depth, prefix), bit)
+                    prefix = (prefix << 1) | bit
+                    bits.append(bit)
+                context = self._context_from_bits(bits)
+
+    def freeze(self, quantizer: Quantizer = quantize_probability) -> None:
+        """Freeze all stream models for coding."""
+        for model in self.stream_models:
+            model.freeze(quantizer)
+        self._frozen = True
+
+    def walk_encode(self, words: Sequence[int], emit: Callable[[int, int], None]) -> None:
+        """Walk one block, calling ``emit(bit, p0_q)`` for every bit.
+
+        The decompressor performs the mirror-image walk via
+        :meth:`walk_decode`.  Context and node pointers start fresh, so
+        the block is independently decodable.
+        """
+        context = 0
+        for word in words:
+            for spec, model in zip(self.specs, self.stream_models):
+                bits: List[int] = []
+                prefix = 0
+                for depth, pos in enumerate(spec.positions):
+                    bit = (word >> (self.width - 1 - pos)) & 1
+                    emit(bit, model.p0_quantized(context, node_index(depth, prefix)))
+                    prefix = (prefix << 1) | bit
+                    bits.append(bit)
+                context = self._context_from_bits(bits)
+
+    def walk_decode(self, word_count: int, next_bit: Callable[[int], int]) -> List[int]:
+        """Decode ``word_count`` words; ``next_bit(p0_q)`` supplies bits."""
+        words: List[int] = []
+        context = 0
+        for _ in range(word_count):
+            word = 0
+            for spec, model in zip(self.specs, self.stream_models):
+                bits: List[int] = []
+                prefix = 0
+                for depth, pos in enumerate(spec.positions):
+                    bit = next_bit(model.p0_quantized(context, node_index(depth, prefix)))
+                    prefix = (prefix << 1) | bit
+                    bits.append(bit)
+                    word |= bit << (self.width - 1 - pos)
+                context = self._context_from_bits(bits)
+            words.append(word)
+        return words
+
+    # -- storage accounting ---------------------------------------------
+
+    def probability_count(self) -> int:
+        """Stored probabilities across all trees and replicas."""
+        return sum(
+            model.contexts * model.node_count for model in self.stream_models
+        )
+
+    def storage_bits(self, bits_per_probability: int = 16) -> int:
+        """Model table size: probabilities plus the stream position map."""
+        position_map_bits = self.width * max(1, (self.width - 1).bit_length())
+        return self.probability_count() * bits_per_probability + position_map_bits
+
+    def storage_bytes(self, bits_per_probability: int = 16) -> int:
+        return (self.storage_bits(bits_per_probability) + 7) // 8
+
+    @classmethod
+    def from_frozen(
+        cls,
+        width: int,
+        streams: Sequence[Sequence[int]],
+        connect_bits: int,
+        tables: Sequence[np.ndarray],
+    ) -> "SamcModel":
+        """Rebuild a ready-to-code model from serialised tables."""
+        model = cls(width, streams, connect_bits)
+        if len(tables) != len(model.stream_models):
+            raise ValueError("one table per stream required")
+        for stream_model, table in zip(model.stream_models, tables):
+            stream_model.load_frozen(table)
+        model._frozen = True
+        return model

@@ -1,0 +1,360 @@
+"""On-ROM serialisation of compressed images.
+
+Inside the library a :class:`~repro.core.lat.CompressedImage` carries its
+decoder model (Markov tables / dictionary / Huffman codes) as live
+objects.  This module defines the standalone byte format — what would
+actually be burned into an embedded system's memory next to the LAT and
+the compressed code — and rebuilds a fully decompressible image from it.
+
+Layout (all integers big-endian)::
+
+    "RCC1" | algo u8 | original u32 | block_size u16 | model_bytes u32
+    n_blocks u32 | n_blocks x (payload size u16)
+    <model section, per algorithm>
+    <payload blocks, concatenated>
+
+The format is versioned by the magic; unknown algorithm ids or truncated
+sections raise :class:`SerializationError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.lat import CompressedImage
+from repro.core.samc.model import SamcModel
+from repro.entropy.huffman import HuffmanCode, canonical_codewords
+
+MAGIC = b"RCC1"
+
+ALGO_SAMC = 1
+ALGO_SADC_MIPS = 2
+ALGO_SADC_X86 = 3
+ALGO_BYTE_HUFFMAN = 4
+
+_PROB_MODES = {"full": 0, "full16": 1, "pow2": 2}
+_PROB_MODE_NAMES = {v: k for k, v in _PROB_MODES.items()}
+
+
+class SerializationError(ValueError):
+    """Raised for malformed or truncated serialised images."""
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self._parts.append(struct.pack(">B", value))
+
+    def u16(self, value: int) -> None:
+        self._parts.append(struct.pack(">H", value))
+
+    def u32(self, value: int) -> None:
+        self._parts.append(struct.pack(">I", value))
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise SerializationError("truncated image")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def raw(self, count: int) -> bytes:
+        return self._take(count)
+
+
+# -- probability coding -----------------------------------------------------
+
+def _encode_probability(writer: _Writer, q: int, mode: str) -> None:
+    if mode == "full":
+        writer.u8(q >> 8)
+    elif mode == "full16":
+        writer.u16(q)
+    else:  # pow2: 1 side bit + 5-bit exponent
+        half = 1 << 15
+        side = 1 if q > half else 0
+        lps = (1 << 16) - q if side else q
+        exponent = 16 - (lps.bit_length() - 1)
+        writer.u8((side << 7) | exponent)
+
+
+def _decode_probability(reader: _Reader, mode: str) -> int:
+    if mode == "full":
+        return reader.u8() << 8
+    if mode == "full16":
+        return reader.u16()
+    byte = reader.u8()
+    side = byte >> 7
+    lps = (1 << 16) >> (byte & 0x1F)
+    return ((1 << 16) - lps) if side else lps
+
+
+# -- Huffman tables -----------------------------------------------------------
+
+def _write_huffman(writer: _Writer, code: HuffmanCode) -> None:
+    writer.u16(len(code.lengths))
+    for symbol in sorted(code.lengths):
+        writer.u32(symbol)
+        writer.u8(code.lengths[symbol])
+
+
+def _read_huffman(reader: _Reader) -> HuffmanCode:
+    count = reader.u16()
+    lengths: Dict[int, int] = {}
+    for _ in range(count):
+        symbol = reader.u32()
+        lengths[symbol] = reader.u8()
+    return HuffmanCode(lengths=lengths, codewords=canonical_codewords(lengths))
+
+
+# -- SAMC model ----------------------------------------------------------------
+
+def _write_samc_model(writer: _Writer, image: CompressedImage) -> None:
+    model: SamcModel = image.metadata["model"]
+    mode = image.metadata["probability_mode"]
+    writer.u8(model.width)
+    writer.u8(len(model.specs))
+    writer.u8(model.connect_bits)
+    writer.u8(_PROB_MODES[mode])
+    for spec in model.specs:
+        writer.u8(spec.k)
+        for position in spec.positions:
+            writer.u8(position)
+    for stream_model in model.stream_models:
+        table = stream_model.frozen_table
+        for context in range(stream_model.contexts):
+            for node in range(stream_model.node_count):
+                _encode_probability(writer, int(table[context, node]), mode)
+
+
+def _read_samc_model(reader: _Reader) -> Tuple[SamcModel, str]:
+    width = reader.u8()
+    n_streams = reader.u8()
+    connect_bits = reader.u8()
+    mode = _PROB_MODE_NAMES[reader.u8()]
+    streams = []
+    for _ in range(n_streams):
+        k = reader.u8()
+        streams.append(tuple(reader.u8() for _ in range(k)))
+    tables = []
+    contexts = 1 << connect_bits
+    for stream in streams:
+        nodes = (1 << len(stream)) - 1
+        table = np.zeros((contexts, nodes), dtype=np.int64)
+        for context in range(contexts):
+            for node in range(nodes):
+                table[context, node] = _decode_probability(reader, mode)
+        tables.append(table)
+    return SamcModel.from_frozen(width, streams, connect_bits, tables), mode
+
+
+# -- SADC models ----------------------------------------------------------------
+
+_MIPS_CODE_KEYS = ("tokens", "regs", "imm16_hi", "imm16_lo",
+                   "imm26_hi", "imm26_lo")
+_X86_CODE_KEYS = ("tokens", "modrm_sib", "imm_disp")
+
+
+def _write_sadc_mips_model(writer: _Writer, image: CompressedImage) -> None:
+    from repro.core.sadc.entry import Dictionary
+
+    dictionary: Dictionary = image.metadata["dictionary"]
+    writer.u16(len(dictionary))
+    for entry in dictionary.entries:
+        writer.u8(len(entry.opcodes))
+        for opcode in entry.opcodes:
+            writer.u8(opcode)
+        writer.u8(len(entry.bound_regs))
+        for instr, slot, value in entry.bound_regs:
+            writer.u8(instr)
+            writer.u8(slot)
+            writer.u8(value)
+        writer.u8(len(entry.bound_imm16))
+        for instr, value in entry.bound_imm16:
+            writer.u8(instr)
+            writer.u16(value)
+        writer.u8(len(entry.bound_imm26))
+        for instr, value in entry.bound_imm26:
+            writer.u8(instr)
+            writer.u32(value)
+    for key in _MIPS_CODE_KEYS:
+        _write_huffman(writer, image.metadata["codes"][key])
+
+
+def _read_sadc_mips_model(reader: _Reader) -> Tuple[object, Dict[str, HuffmanCode]]:
+    from repro.core.sadc.entry import DictEntry, Dictionary
+
+    count = reader.u16()
+    dictionary = Dictionary(max_entries=max(256, count))
+    for _ in range(count):
+        opcodes = tuple(reader.u8() for _ in range(reader.u8()))
+        regs = tuple(
+            (reader.u8(), reader.u8(), reader.u8())
+            for _ in range(reader.u8())
+        )
+        imm16 = tuple((reader.u8(), reader.u16()) for _ in range(reader.u8()))
+        imm26 = tuple((reader.u8(), reader.u32()) for _ in range(reader.u8()))
+        dictionary.add(DictEntry(opcodes, regs, imm16, imm26))
+    codes = {key: _read_huffman(reader) for key in _MIPS_CODE_KEYS}
+    return dictionary, codes
+
+
+def _write_sadc_x86_model(writer: _Writer, image: CompressedImage) -> None:
+    dictionary = image.metadata["dictionary"]
+    writer.u16(len(dictionary))
+    for entry in dictionary.entries:
+        writer.u8(len(entry))
+        for part in entry:
+            writer.u8(len(part))
+            writer.raw(part)
+    for key in _X86_CODE_KEYS:
+        _write_huffman(writer, image.metadata["codes"][key])
+    counts = image.metadata["block_instruction_counts"]
+    writer.u32(len(counts))
+    for value in counts:
+        writer.u16(value)
+
+
+def _read_sadc_x86_model(reader: _Reader):
+    from repro.core.sadc.x86 import X86Dictionary
+
+    count = reader.u16()
+    dictionary = X86Dictionary(max_entries=max(256, count))
+    for _ in range(count):
+        parts = tuple(
+            reader.raw(reader.u8()) for _ in range(reader.u8())
+        )
+        dictionary.add(parts)
+    codes = {key: _read_huffman(reader) for key in _X86_CODE_KEYS}
+    n_counts = reader.u32()
+    counts = [reader.u16() for _ in range(n_counts)]
+    return dictionary, codes, counts
+
+
+# -- public API -------------------------------------------------------------------
+
+def _algorithm_id(image: CompressedImage) -> int:
+    if image.algorithm == "SAMC":
+        return ALGO_SAMC
+    if image.algorithm == "SADC":
+        return ALGO_SADC_MIPS if image.metadata.get("isa") == "mips" \
+            else ALGO_SADC_X86
+    if image.algorithm == "byte-huffman":
+        return ALGO_BYTE_HUFFMAN
+    raise SerializationError(f"cannot serialise algorithm {image.algorithm!r}")
+
+
+def serialize_image(image: CompressedImage) -> bytes:
+    """Serialise a compressed image to its standalone byte format."""
+    writer = _Writer()
+    writer.raw(MAGIC)
+    algo = _algorithm_id(image)
+    writer.u8(algo)
+    writer.u32(image.original_size)
+    writer.u16(image.block_size)
+    writer.u32(image.model_bytes)
+    writer.u32(len(image.blocks))
+    for block in image.blocks:
+        if len(block) > 0xFFFF:
+            raise SerializationError("block payload exceeds format limit")
+        writer.u16(len(block))
+    if algo == ALGO_SAMC:
+        _write_samc_model(writer, image)
+    elif algo == ALGO_SADC_MIPS:
+        _write_sadc_mips_model(writer, image)
+    elif algo == ALGO_SADC_X86:
+        _write_sadc_x86_model(writer, image)
+    else:
+        _write_huffman(writer, image.metadata["code"])
+    for block in image.blocks:
+        writer.raw(block)
+    return writer.getvalue()
+
+
+def deserialize_image(data: bytes) -> CompressedImage:
+    """Rebuild a decompressible :class:`CompressedImage` from bytes."""
+    reader = _Reader(data)
+    if reader.raw(4) != MAGIC:
+        raise SerializationError("bad magic")
+    algo = reader.u8()
+    original_size = reader.u32()
+    block_size = reader.u16()
+    model_bytes = reader.u32()
+    n_blocks = reader.u32()
+    sizes = [reader.u16() for _ in range(n_blocks)]
+
+    if algo == ALGO_SAMC:
+        model, mode = _read_samc_model(reader)
+        metadata = {
+            "model": model,
+            "word_bits": model.width,
+            "streams": model.specs,
+            "connect_bits": model.connect_bits,
+            "probability_mode": mode,
+        }
+        algorithm = "SAMC"
+    elif algo == ALGO_SADC_MIPS:
+        dictionary, codes = _read_sadc_mips_model(reader)
+        metadata = {"isa": "mips", "dictionary": dictionary, "codes": codes}
+        algorithm = "SADC"
+    elif algo == ALGO_SADC_X86:
+        dictionary, codes, counts = _read_sadc_x86_model(reader)
+        metadata = {
+            "isa": "x86", "dictionary": dictionary, "codes": codes,
+            "block_instruction_counts": counts,
+        }
+        algorithm = "SADC"
+    elif algo == ALGO_BYTE_HUFFMAN:
+        metadata = {"code": _read_huffman(reader)}
+        algorithm = "byte-huffman"
+    else:
+        raise SerializationError(f"unknown algorithm id {algo}")
+
+    blocks = [reader.raw(size) for size in sizes]
+    return CompressedImage(
+        algorithm=algorithm,
+        original_size=original_size,
+        block_size=block_size,
+        blocks=blocks,
+        model_bytes=model_bytes,
+        metadata=metadata,
+    )
+
+
+def save_image(image: CompressedImage, path: str) -> int:
+    """Write a serialised image to disk; returns the byte count."""
+    data = serialize_image(image)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def load_image(path: str) -> CompressedImage:
+    """Read a serialised image from disk."""
+    with open(path, "rb") as handle:
+        return deserialize_image(handle.read())

@@ -1,0 +1,53 @@
+"""Entropy-coding substrate: statistics, Huffman, binary arithmetic coding."""
+
+from repro.entropy.arith import (
+    PROB_BITS,
+    PROB_ONE,
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+    decode_bits,
+    encode_bits,
+    quantize_power_of_two,
+    quantize_probability,
+)
+from repro.entropy.huffman import (
+    HuffmanCode,
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_code,
+    build_code_from_symbols,
+    canonical_codewords,
+    code_lengths,
+)
+from repro.entropy.stats import (
+    bit_correlation,
+    bit_matrix,
+    entropy_bits,
+    frequencies,
+    markov_stream_entropy,
+    total_information_bits,
+)
+
+__all__ = [
+    "PROB_BITS",
+    "PROB_ONE",
+    "BinaryArithmeticDecoder",
+    "BinaryArithmeticEncoder",
+    "HuffmanCode",
+    "HuffmanDecoder",
+    "HuffmanEncoder",
+    "bit_correlation",
+    "bit_matrix",
+    "build_code",
+    "build_code_from_symbols",
+    "canonical_codewords",
+    "code_lengths",
+    "decode_bits",
+    "encode_bits",
+    "entropy_bits",
+    "frequencies",
+    "markov_stream_entropy",
+    "quantize_power_of_two",
+    "quantize_probability",
+    "total_information_bits",
+]

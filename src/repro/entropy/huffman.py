@@ -1,0 +1,162 @@
+"""Huffman coding: tree construction, canonical codes, and a codec.
+
+Used three ways in this reproduction:
+
+* the **byte-based Huffman baseline** (Kozuch & Wolfe, compared in Fig. 9),
+* SADC's final entropy-coding pass over its dictionary-index and operand
+  streams (Section 4.1, last step),
+* table-size accounting — canonical codes let the decoder table be stored
+  as one length per symbol.
+
+Construction is deterministic: ties in the priority queue break on
+(symbol count, smallest symbol), so identical inputs always produce
+identical tables, a property the tests and the LAT layout rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bitstream.io import BitReader, BitWriter
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A complete prefix code: symbol -> (codeword, length)."""
+
+    lengths: Dict[int, int]
+    codewords: Dict[int, int]
+
+    @property
+    def symbols(self) -> List[int]:
+        return sorted(self.lengths)
+
+    def mean_length(self, counts: Dict[int, int]) -> float:
+        """Average codeword length under the given symbol distribution."""
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        return sum(self.lengths[s] * c for s, c in counts.items()) / total
+
+    def table_bits(self, symbol_bits: int) -> int:
+        """Storage cost of the decode table (canonical form).
+
+        Canonical Huffman needs only the code length per symbol plus the
+        symbol values themselves: ``(symbol_bits + 5)`` bits per entry
+        (5 bits encode lengths up to 31).
+        """
+        return len(self.lengths) * (symbol_bits + 5)
+
+
+def code_lengths(counts: Dict[int, int]) -> Dict[int, int]:
+    """Optimal prefix-code lengths for an empirical distribution.
+
+    A single-symbol alphabet gets a 1-bit code (the degenerate case every
+    real bitstream format also special-cases).
+    """
+    alive = [(count, symbol) for symbol, count in counts.items() if count > 0]
+    if not alive:
+        return {}
+    if len(alive) == 1:
+        return {alive[0][1]: 1}
+    # Heap of (weight, tiebreak, node) where node is either a symbol or a
+    # list of symbols (an internal node's leaf set).
+    heap: List[Tuple[int, int, List[int]]] = [
+        (count, symbol, [symbol]) for count, symbol in alive
+    ]
+    heapq.heapify(heap)
+    lengths = {symbol: 0 for _count, symbol in alive}
+    while len(heap) > 1:
+        w1, t1, leaves1 = heapq.heappop(heap)
+        w2, t2, leaves2 = heapq.heappop(heap)
+        for symbol in leaves1 + leaves2:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (w1 + w2, min(t1, t2), leaves1 + leaves2))
+    return lengths
+
+
+def canonical_codewords(lengths: Dict[int, int]) -> Dict[int, int]:
+    """Assign canonical codewords (sorted by length, then symbol)."""
+    order = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codewords: Dict[int, int] = {}
+    code = 0
+    previous_length = 0
+    for symbol, length in order:
+        code <<= length - previous_length
+        codewords[symbol] = code
+        code += 1
+        previous_length = length
+    return codewords
+
+
+def build_code(counts: Dict[int, int]) -> HuffmanCode:
+    """Build a canonical Huffman code from symbol counts."""
+    lengths = code_lengths(counts)
+    return HuffmanCode(lengths=lengths, codewords=canonical_codewords(lengths))
+
+
+def build_code_from_symbols(symbols: Iterable[int]) -> HuffmanCode:
+    """Convenience: count then build."""
+    counts: Dict[int, int] = {}
+    for symbol in symbols:
+        counts[symbol] = counts.get(symbol, 0) + 1
+    return build_code(counts)
+
+
+class HuffmanEncoder:
+    """Encodes symbol sequences under a fixed :class:`HuffmanCode`."""
+
+    def __init__(self, code: HuffmanCode) -> None:
+        self._code = code
+
+    def encode_to(self, writer: BitWriter, symbols: Sequence[int]) -> None:
+        """Append the coded symbols to an existing bit writer."""
+        codewords = self._code.codewords
+        lengths = self._code.lengths
+        for symbol in symbols:
+            if symbol not in codewords:
+                raise KeyError(f"symbol {symbol!r} not in Huffman table")
+            writer.write_bits(codewords[symbol], lengths[symbol])
+
+    def encode(self, symbols: Sequence[int]) -> bytes:
+        """Encode to fresh bytes (zero-padded to a byte boundary)."""
+        writer = BitWriter()
+        self.encode_to(writer, symbols)
+        return writer.getvalue()
+
+    def encoded_bits(self, symbols: Sequence[int]) -> int:
+        """Exact coded length in bits without materialising the stream."""
+        lengths = self._code.lengths
+        return sum(lengths[s] for s in symbols)
+
+
+class HuffmanDecoder:
+    """Decodes bit streams produced by :class:`HuffmanEncoder`."""
+
+    def __init__(self, code: HuffmanCode) -> None:
+        self._table: Dict[Tuple[int, int], int] = {
+            (code.lengths[s], code.codewords[s]): s for s in code.lengths
+        }
+        self._max_length = max(code.lengths.values(), default=0)
+
+    def decode_from(self, reader: BitReader, count: int) -> List[int]:
+        """Decode exactly ``count`` symbols from a bit reader."""
+        out: List[int] = []
+        for _ in range(count):
+            length = 0
+            word = 0
+            while True:
+                word = (word << 1) | reader.read_bit()
+                length += 1
+                if (length, word) in self._table:
+                    out.append(self._table[(length, word)])
+                    break
+                if length > self._max_length:
+                    raise ValueError("invalid Huffman bit sequence")
+        return out
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        """Decode ``count`` symbols from bytes."""
+        return self.decode_from(BitReader(data), count)

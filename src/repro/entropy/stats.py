@@ -1,0 +1,98 @@
+"""Statistical helpers: frequencies, entropy, and bit correlation.
+
+SAMC's stream-assignment optimiser (Section 3) groups instruction bits by
+pairwise correlation and scores candidate groupings by total model
+entropy; these are the primitives it uses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def frequencies(symbols: Iterable[int]) -> Counter:
+    """Count symbol occurrences."""
+    return Counter(symbols)
+
+
+def entropy_bits(counts: Dict[int, int]) -> float:
+    """Shannon entropy in bits/symbol of an empirical distribution."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts.values():
+        if count:
+            p = count / total
+            result -= p * math.log2(p)
+    return result
+
+
+def total_information_bits(counts: Dict[int, int]) -> float:
+    """Ideal coded size (bits) of the sequence the counts came from."""
+    total = sum(counts.values())
+    return entropy_bits(counts) * total
+
+
+def bit_matrix(words: Sequence[int], width: int) -> np.ndarray:
+    """Explode words into an (n_words, width) 0/1 matrix, MSB first."""
+    n = len(words)
+    matrix = np.zeros((n, width), dtype=np.uint8)
+    for row, word in enumerate(words):
+        for col in range(width):
+            matrix[row, col] = (word >> (width - 1 - col)) & 1
+    return matrix
+
+
+def bit_correlation(words: Sequence[int], width: int) -> np.ndarray:
+    """Pairwise |Pearson correlation| between bit positions.
+
+    Constant bit positions (always 0 or always 1) have zero variance; we
+    define their correlation with everything as 0 — they carry no
+    information, so stream assignment is indifferent to them.
+    """
+    matrix = bit_matrix(words, width).astype(np.float64)
+    if matrix.shape[0] < 2:
+        return np.zeros((width, width))
+    std = matrix.std(axis=0)
+    centered = matrix - matrix.mean(axis=0)
+    cov = centered.T @ centered / matrix.shape[0]
+    denom = np.outer(std, std)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = np.where(denom > 0, cov / denom, 0.0)
+    np.fill_diagonal(corr, 1.0)
+    return np.abs(corr)
+
+
+def markov_stream_entropy(words: Sequence[int], positions: Sequence[int], width: int) -> float:
+    """First-order (Markov-tree) entropy of one candidate bit stream.
+
+    Models exactly what a SAMC binary Markov tree captures: the entropy of
+    each bit conditioned on the *prefix of bits within the same stream
+    symbol*.  Lower is better for the arithmetic coder.
+    """
+    k = len(positions)
+    if k == 0:
+        return 0.0
+    # context -> [count0, count1] where context is the bit-prefix within
+    # the symbol, tagged by depth to keep prefixes of different lengths
+    # distinct (exactly the nodes of the binary Markov tree).
+    contexts: Dict[int, List[int]] = {}
+    for word in words:
+        context = 1  # sentinel leading 1 encodes the depth
+        for pos in positions:
+            bit = (word >> (width - 1 - pos)) & 1
+            counts = contexts.setdefault(context, [0, 0])
+            counts[bit] += 1
+            context = (context << 1) | bit
+    total_bits_coded = len(words) * k
+    if total_bits_coded == 0:
+        return 0.0
+    info = 0.0
+    for counts in contexts.values():
+        info += total_information_bits({0: counts[0], 1: counts[1]})
+    return info / total_bits_coded

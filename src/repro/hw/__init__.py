@@ -1,0 +1,25 @@
+"""Hardware decoder models: midpoint datapath and gate-cost estimates."""
+
+from repro.hw.cost import SadcDecoderCost, SamcDecoderCost, compare_decoders
+from repro.hw.midpoint import (
+    INTERVAL_BITS,
+    INTERVAL_MAX,
+    compute_midpoints,
+    parallel_decode,
+    serial_decode,
+    serial_midpoint,
+    shift_only_midpoint,
+)
+
+__all__ = [
+    "INTERVAL_BITS",
+    "INTERVAL_MAX",
+    "SadcDecoderCost",
+    "SamcDecoderCost",
+    "compare_decoders",
+    "compute_midpoints",
+    "parallel_decode",
+    "serial_decode",
+    "serial_midpoint",
+    "shift_only_midpoint",
+]

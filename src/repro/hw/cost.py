@@ -1,0 +1,132 @@
+"""Gate- and storage-cost models for the two decompressor designs.
+
+The paper stops at block diagrams ("architectural details remain future
+work") but argues the schemes are "reasonably implemented in hardware";
+these models put first-order numbers on that claim using standard
+gate-equivalent counts: a w-bit comparator ≈ 3w gates, a w-bit adder
+≈ 9w gates, a w×w multiplier ≈ 9w² gates, SRAM ≈ 1 gate-equivalent per
+~4 bits.  They feed the ``tab-hw`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Gate-equivalent unit costs.
+GATES_PER_COMPARATOR_BIT = 3
+GATES_PER_ADDER_BIT = 9
+GATES_PER_MULTIPLIER_BIT2 = 9
+BITS_PER_SRAM_GATE = 4
+
+
+@dataclass(frozen=True)
+class SamcDecoderCost:
+    """Figure 5: probability memory + midpoint logic + comparators.
+
+    ``bits_per_cycle`` nibble decoding needs ``2**n - 1`` midpoint units
+    and as many comparators; the probability memory holds every Markov
+    node of every stream replica.
+    """
+
+    probability_count: int
+    probability_bits: int = 8
+    interval_bits: int = 24
+    bits_per_cycle: int = 4
+    multiplier_free: bool = False
+
+    @property
+    def midpoint_units(self) -> int:
+        return (1 << self.bits_per_cycle) - 1
+
+    @property
+    def probability_memory_bits(self) -> int:
+        return self.probability_count * self.probability_bits
+
+    @property
+    def logic_gates(self) -> int:
+        """Midpoint units + comparators (the datapath of Figure 5)."""
+        w = self.interval_bits
+        if self.multiplier_free:
+            # Shift (wiring) + subtractor per unit.
+            per_unit = GATES_PER_ADDER_BIT * w
+        else:
+            per_unit = (
+                GATES_PER_MULTIPLIER_BIT2 * w * self.probability_bits // 8
+                + GATES_PER_ADDER_BIT * w
+            )
+        comparators = self.midpoint_units * GATES_PER_COMPARATOR_BIT * w
+        return self.midpoint_units * per_unit + comparators
+
+    @property
+    def memory_gates(self) -> int:
+        return self.probability_memory_bits // BITS_PER_SRAM_GATE
+
+    @property
+    def total_gates(self) -> int:
+        return self.logic_gates + self.memory_gates
+
+    def cycles_per_block(self, block_bytes: int) -> int:
+        """Decode latency for one cache block."""
+        bits = 8 * block_bytes
+        return -(-bits // self.bits_per_cycle)
+
+
+@dataclass(frozen=True)
+class SadcDecoderCost:
+    """Figure 6: dictionary tables + operand-length + instruction gen.
+
+    Three 256-entry decode tables (opcode extractor, operand lengths,
+    and the Huffman/dictionary storage proper), a small control FSM, and
+    for MIPS an instruction-generator mux network that scatters stream
+    bits back into their word positions.
+    """
+
+    dictionary_bits: int
+    table_entries: int = 256
+    instruction_bits: int = 32
+    needs_instruction_generator: bool = True
+    instructions_per_2cycles: int = 1
+
+    @property
+    def table_memory_bits(self) -> int:
+        # operand-length table (4 bits/entry) + opcode map (8 bits/entry).
+        return self.dictionary_bits + self.table_entries * (4 + 8)
+
+    @property
+    def logic_gates(self) -> int:
+        control = 500  # small FSM + counters
+        generator = (
+            self.instruction_bits * 12 if self.needs_instruction_generator else 0
+        )
+        return control + generator
+
+    @property
+    def memory_gates(self) -> int:
+        return self.table_memory_bits // BITS_PER_SRAM_GATE
+
+    @property
+    def total_gates(self) -> int:
+        return self.logic_gates + self.memory_gates
+
+    def cycles_per_block(self, block_bytes: int) -> int:
+        instructions = -(-8 * block_bytes // self.instruction_bits)
+        return 2 * instructions // self.instructions_per_2cycles
+
+
+def compare_decoders(samc: SamcDecoderCost, sadc: SadcDecoderCost) -> Dict[str, Dict[str, int]]:
+    """Side-by-side summary used by the tab-hw benchmark."""
+    return {
+        "SAMC": {
+            "memory_bits": samc.probability_memory_bits,
+            "logic_gates": samc.logic_gates,
+            "total_gates": samc.total_gates,
+            "cycles_per_32B_block": samc.cycles_per_block(32),
+        },
+        "SADC": {
+            "memory_bits": sadc.table_memory_bits,
+            "logic_gates": sadc.logic_gates,
+            "total_gates": sadc.total_gates,
+            "cycles_per_32B_block": sadc.cycles_per_block(32),
+        },
+    }

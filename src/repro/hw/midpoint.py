@@ -1,0 +1,135 @@
+"""The SAMC decoder's midpoint arithmetic (Section 3, Figure 5).
+
+The paper's serial decoder produces one bit per midpoint computation::
+
+    mid = min + (max - min - 1) * p
+    bit = (val >= mid);  min/max <- mid
+
+and is sped up by computing *all* midpoints for the next 4 bits in
+parallel: each of the 15 nodes of a depth-4 decision tree has a midpoint
+that is a function only of the initial interval (m0, M0) and the Markov
+probabilities along its prefix — so 15 multiplier/adder units plus 15
+comparators decode a nibble per cycle.
+
+This module implements both forms over the same 24-bit fixed-point
+arithmetic and (see the tests) proves them equivalent, plus the
+shift-only variant used when probabilities are constrained to powers of
+1/2 ("to avoid the multiplication … only shifts are required").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+#: The decoder's interval registers are 24 bits wide, per the paper.
+INTERVAL_BITS = 24
+INTERVAL_MAX = 1 << INTERVAL_BITS
+
+#: Probabilities are 16-bit fixed-point fractions of PROB_ONE.
+PROB_BITS = 16
+PROB_ONE = 1 << PROB_BITS
+
+#: A prediction source: bit-prefix (as a tuple of bits) -> P(next bit = 0).
+ProbLookup = Callable[[Tuple[int, ...]], int]
+
+
+def serial_midpoint(low: int, high: int, p0: int) -> int:
+    """One midpoint: ``min + (max - min - 1) * p0``, clamped inside.
+
+    The clamping (lines 10-11 of the paper's pseudocode) keeps both
+    sub-intervals non-empty even for saturated probabilities.
+    """
+    mid = low + (((high - low - 1) * p0) >> PROB_BITS)
+    if mid <= low:
+        mid = low + 1
+    if mid >= high - 1:
+        mid = high - 1
+    return mid
+
+
+def serial_decode(
+    val: int, nbits: int, prob: ProbLookup, low: int = 0, high: int = INTERVAL_MAX
+) -> Tuple[List[int], int, int]:
+    """Decode ``nbits`` bits one midpoint at a time (the slow reference).
+
+    Returns (bits, final_low, final_high).
+    """
+    bits: List[int] = []
+    for _ in range(nbits):
+        mid = serial_midpoint(low, high, prob(tuple(bits)))
+        if val >= mid:
+            bits.append(1)
+            low = mid
+        else:
+            bits.append(0)
+            high = mid
+    return bits, low, high
+
+
+def compute_midpoints(
+    nbits: int, prob: ProbLookup, low: int = 0, high: int = INTERVAL_MAX
+) -> Dict[Tuple[int, ...], int]:
+    """All 2**nbits - 1 midpoints of the decode tree, keyed by prefix.
+
+    Every value depends only on (low, high) and the probabilities — no
+    serial dependency on ``val`` — which is what lets the hardware
+    evaluate them concurrently.  For the paper's nibble decoder,
+    ``nbits=4`` gives the 15 midpoints of Figure 5.
+    """
+    midpoints: Dict[Tuple[int, ...], int] = {}
+
+    def descend(prefix: Tuple[int, ...], lo: int, hi: int) -> None:
+        if len(prefix) >= nbits:
+            return
+        mid = serial_midpoint(lo, hi, prob(prefix))
+        midpoints[prefix] = mid
+        descend(prefix + (0,), lo, mid)
+        descend(prefix + (1,), mid, hi)
+
+    descend((), low, high)
+    return midpoints
+
+
+def parallel_decode(
+    val: int,
+    nbits: int,
+    prob: ProbLookup,
+    low: int = 0,
+    high: int = INTERVAL_MAX,
+) -> Tuple[List[int], int, int]:
+    """Decode ``nbits`` bits using precomputed midpoints + comparators.
+
+    Functionally identical to :func:`serial_decode`; structured the way
+    the hardware works: midpoint computation first (parallelisable),
+    then a comparator chain selecting the path.
+    """
+    midpoints = compute_midpoints(nbits, prob, low, high)
+    bits: List[int] = []
+    lo, hi = low, high
+    for _ in range(nbits):
+        mid = midpoints[tuple(bits)]
+        if val >= mid:
+            bits.append(1)
+            lo = mid
+        else:
+            bits.append(0)
+            hi = mid
+    return bits, lo, hi
+
+
+def shift_only_midpoint(low: int, high: int, exponent: int, zero_is_lps: bool) -> int:
+    """Midpoint when the LPS probability is 2**-exponent (no multiplier).
+
+    If 0 is the less probable symbol, its share of the interval is a
+    right shift of the width; otherwise the shift computes the 1-side
+    and a subtraction places the midpoint ("only a shift is required,
+    otherwise a shift and a subtraction").
+    """
+    width = high - low - 1
+    lps_share = width >> exponent
+    mid = low + lps_share if zero_is_lps else high - 1 - lps_share
+    if mid <= low:
+        mid = low + 1
+    if mid >= high - 1:
+        mid = high - 1
+    return mid

@@ -1,0 +1,1 @@
+"""Instruction-set architecture models (MIPS and x86)."""

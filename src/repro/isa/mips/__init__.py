@@ -1,0 +1,46 @@
+"""MIPS-I instruction-set model: formats, assembler, SADC streams."""
+
+from repro.isa.mips.asm import (
+    assemble,
+    assemble_one,
+    assemble_to_bytes,
+    disassemble,
+    disassemble_one,
+)
+from repro.isa.mips.formats import (
+    BY_MNEMONIC,
+    OPCODES,
+    WORD_BITS,
+    WORD_BYTES,
+    Instruction,
+    OpcodeSpec,
+    decode,
+)
+from repro.isa.mips.registers import register_name, register_number
+from repro.isa.mips.streams import (
+    OPCODE_IDS,
+    MipsStreams,
+    merge_streams,
+    split_streams,
+)
+
+__all__ = [
+    "BY_MNEMONIC",
+    "OPCODES",
+    "OPCODE_IDS",
+    "WORD_BITS",
+    "WORD_BYTES",
+    "Instruction",
+    "MipsStreams",
+    "OpcodeSpec",
+    "assemble",
+    "assemble_one",
+    "assemble_to_bytes",
+    "decode",
+    "disassemble",
+    "disassemble_one",
+    "merge_streams",
+    "register_name",
+    "register_number",
+    "split_streams",
+]

@@ -1,0 +1,193 @@
+"""A small MIPS assembler and disassembler.
+
+Supports the subset in :mod:`repro.isa.mips.formats` with conventional
+assembly syntax, including ``lw $t0, 4($sp)`` memory operands.  The
+assembler exists so that tests and examples can build instruction streams
+readably; the workload generator drives :class:`Instruction` directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from repro.bitstream.fields import sign_extend
+from repro.isa.mips.formats import BY_MNEMONIC, Instruction, decode
+from repro.isa.mips.registers import fpr_name, register_name, register_number
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\$?\w+)\)$")
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def assemble_one(line: str) -> Instruction:
+    """Assemble a single instruction from text."""
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        raise ValueError("empty instruction")
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    if mnemonic not in BY_MNEMONIC:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}")
+    spec = BY_MNEMONIC[mnemonic]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    tokens: List[str] = [t.strip() for t in operand_text.split(",") if t.strip()]
+
+    # Memory form "imm(rs)" expands to the imm and rs operand slots.
+    expanded: List[str] = []
+    for token in tokens:
+        match = _MEM_OPERAND.match(token)
+        if match and spec.operands and "imm" in spec.operands:
+            expanded.append(match.group(1))
+            expanded.append(match.group(2))
+        else:
+            expanded.append(token)
+
+    if len(expanded) != len(spec.operands):
+        raise ValueError(
+            f"{mnemonic} expects {len(spec.operands)} operands "
+            f"{spec.operands}, got {len(expanded)}: {expanded}"
+        )
+
+    fields = {"rs": 0, "rt": 0, "rd": 0, "shamt": 0, "imm": 0, "target": 0}
+    for name, token in zip(spec.operands, expanded):
+        if name in ("rs", "rt", "rd"):
+            # COP1 loads/stores carry the FP register in the rt field.
+            # ("$fp" is the GPR frame pointer, not an FP register.)
+            if re.match(r"^\$f\d+$", token.strip().lower()):
+                fields[name] = _parse_fp_register(token)
+            else:
+                fields[name] = register_number(token)
+        elif name in ("fd", "fs", "ft"):
+            fields[_FP_TO_HW[name]] = _parse_fp_register(token)
+        elif name == "shamt":
+            fields["shamt"] = _parse_int(token) & 0x1F
+        elif name == "imm":
+            fields["imm"] = _parse_int(token) & 0xFFFF
+        elif name == "target":
+            # Assembly writes byte addresses; the hardware field stores
+            # the word address (address >> 2).
+            fields["target"] = (_parse_int(token) >> 2) & 0x3FFFFFF
+        else:  # pragma: no cover - spec tables only name the above
+            raise ValueError(f"unknown operand kind {name!r}")
+    return Instruction(spec, **fields)
+
+
+#: COP1.FMT layout is ``op fmt ft fs fd funct``; the FP operand slots land
+#: in the R-type rt/rd/shamt field positions respectively.
+_FP_TO_HW = {"ft": "rt", "fs": "rd", "fd": "shamt"}
+
+
+def _parse_fp_register(token: str) -> int:
+    token = token.strip().lower()
+    if token.startswith("$f"):
+        return int(token[2:])
+    if token.startswith("f"):
+        return int(token[1:])
+    raise ValueError(f"bad FP register {token!r}")
+
+
+def assemble(lines: Iterable[str]) -> List[Instruction]:
+    """Assemble a sequence of instruction lines, skipping blanks/comments."""
+    out = []
+    for line in lines:
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            out.append(assemble_one(stripped))
+    return out
+
+
+_LABEL_DEF = re.compile(r"^([A-Za-z_][\w$.]*):\s*(.*)$")
+_LABEL_REF = re.compile(r"^[A-Za-z_][\w$.]*$")
+
+
+def assemble_program(lines: Iterable[str], base_address: int = 0) -> List[Instruction]:
+    """Two-pass assembly with labels.
+
+    ``loop:`` defines a label; branch instructions may name a label as
+    their immediate (assembled to the MIPS-relative offset, counted from
+    the instruction *after* the branch), and ``j``/``jal`` may name one
+    as their target (assembled to the absolute word address).
+    """
+    # Pass 1: strip labels, record their instruction addresses.
+    labels = {}
+    stripped_lines: List[str] = []
+    for line in lines:
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        match = _LABEL_DEF.match(text)
+        if match:
+            label, rest = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise ValueError(f"duplicate label {label!r}")
+            labels[label] = base_address + 4 * len(stripped_lines)
+            if not rest:
+                continue
+            text = rest
+        stripped_lines.append(text)
+
+    # Pass 2: resolve label operands, then assemble.
+    out: List[Instruction] = []
+    for index, text in enumerate(stripped_lines):
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t.strip() for t in operand_text.split(",")]
+        if mnemonic in BY_MNEMONIC and tokens and _LABEL_REF.match(tokens[-1]) \
+                and tokens[-1] not in ("",) and tokens[-1] in labels:
+            spec = BY_MNEMONIC[mnemonic]
+            target_address = labels[tokens[-1]]
+            here = base_address + 4 * index
+            if spec.fmt == "J":
+                tokens[-1] = hex(target_address)
+            elif "imm" in spec.operands:
+                offset = (target_address - (here + 4)) // 4
+                tokens[-1] = str(offset)
+            text = f"{mnemonic} " + ", ".join(tokens)
+        out.append(assemble_one(text))
+    return out
+
+
+def assemble_to_bytes(lines: Iterable[str], base_address: int = 0) -> bytes:
+    """Assemble straight to a big-endian machine-code image.
+
+    Accepts labels (see :func:`assemble_program`).
+    """
+    code = bytearray()
+    for instruction in assemble_program(lines, base_address):
+        code.extend(instruction.encode().to_bytes(4, "big"))
+    return bytes(code)
+
+
+def disassemble_one(word: int) -> str:
+    """Render a 32-bit word as assembly text."""
+    instruction = decode(word)
+    spec = instruction.spec
+    rendered = []
+    for name in spec.operands:
+        if name in ("rs", "rt", "rd"):
+            rendered.append(register_name(getattr(instruction, name)))
+        elif name in ("fd", "fs", "ft"):
+            rendered.append(fpr_name(getattr(instruction, _FP_TO_HW[name])))
+        elif name == "shamt":
+            rendered.append(str(instruction.shamt))
+        elif name == "imm":
+            rendered.append(str(sign_extend(instruction.imm, 16)))
+        elif name == "target":
+            rendered.append(hex(instruction.target << 2))
+    if not rendered:
+        return spec.mnemonic
+    return f"{spec.mnemonic} " + ", ".join(rendered)
+
+
+def disassemble(code: bytes) -> List[str]:
+    """Disassemble a big-endian machine-code image."""
+    if len(code) % 4 != 0:
+        raise ValueError("MIPS code image must be a multiple of 4 bytes")
+    return [
+        disassemble_one(int.from_bytes(code[i : i + 4], "big"))
+        for i in range(0, len(code), 4)
+    ]

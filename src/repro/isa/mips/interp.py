@@ -1,0 +1,420 @@
+"""A functional MIPS-I interpreter.
+
+The paper's architecture assumes "the processor executes normal
+uncompressed code" fetched through the decompressing refill engine; this
+interpreter is that processor.  It executes the subset modelled in
+:mod:`repro.isa.mips.formats` — integer ALU, loads/stores, branches,
+jumps, HI/LO multiply/divide, and COP1 double-precision arithmetic —
+over a flat little bit of memory, and exposes an instruction-fetch hook
+so execution can be driven *through* a simulated compressed memory
+system (see :mod:`repro.memory.fetchsim`).
+
+Simplifications, documented rather than hidden:
+
+* no branch delay slots (branches take effect immediately);
+* memory is a single flat byte array, big-endian, no MMU;
+* ``syscall`` halts the machine (the embedded "exit" convention here);
+* FP registers hold Python floats; ``$f2k`` names a double (even regs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bitstream.fields import sign_extend
+from repro.isa.mips.formats import Instruction, decode
+
+#: A fetch hook: word address -> 32-bit instruction word.
+FetchHook = Callable[[int], int]
+
+
+class MachineError(RuntimeError):
+    """Raised for invalid execution (bad address, misalignment, …)."""
+
+
+@dataclass
+class MachineState:
+    """Architectural state snapshot (for tests and debugging)."""
+
+    pc: int
+    registers: List[int]
+    hi: int
+    lo: int
+    halted: bool
+    instructions_executed: int
+
+
+class MipsMachine:
+    """Executes MIPS code from a byte-addressed memory image."""
+
+    def __init__(
+        self,
+        memory_size: int = 1 << 20,
+        entry_point: int = 0,
+        fetch_hook: Optional[FetchHook] = None,
+    ) -> None:
+        self.memory = bytearray(memory_size)
+        self.registers = [0] * 32
+        self.fpr: List[float] = [0.0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.pc = entry_point
+        self.halted = False
+        self.instructions_executed = 0
+        self._fetch_hook = fetch_hook
+        # Conventional stack: top of memory, 8-byte aligned.
+        self.registers[29] = (memory_size - 16) & ~7
+
+    # -- memory -----------------------------------------------------------
+
+    def load_code(self, code: bytes, address: int = 0) -> None:
+        """Place a code image into memory."""
+        self._check_range(address, len(code))
+        self.memory[address : address + len(code)] = code
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or address + length > len(self.memory):
+            raise MachineError(
+                f"access [{address:#x}, {address + length:#x}) outside memory"
+            )
+
+    def read_word(self, address: int) -> int:
+        if address % 4 != 0:
+            raise MachineError(f"misaligned word read at {address:#x}")
+        self._check_range(address, 4)
+        return int.from_bytes(self.memory[address : address + 4], "big")
+
+    def write_word(self, address: int, value: int) -> None:
+        if address % 4 != 0:
+            raise MachineError(f"misaligned word write at {address:#x}")
+        self._check_range(address, 4)
+        self.memory[address : address + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+
+    def read_byte(self, address: int) -> int:
+        self._check_range(address, 1)
+        return self.memory[address]
+
+    def write_byte(self, address: int, value: int) -> None:
+        self._check_range(address, 1)
+        self.memory[address] = value & 0xFF
+
+    def read_half(self, address: int) -> int:
+        if address % 2 != 0:
+            raise MachineError(f"misaligned half read at {address:#x}")
+        self._check_range(address, 2)
+        return int.from_bytes(self.memory[address : address + 2], "big")
+
+    def write_half(self, address: int, value: int) -> None:
+        if address % 2 != 0:
+            raise MachineError(f"misaligned half write at {address:#x}")
+        self._check_range(address, 2)
+        self.memory[address : address + 2] = (value & 0xFFFF).to_bytes(2, "big")
+
+    def read_double(self, address: int) -> float:
+        import struct
+
+        self._check_range(address, 8)
+        return struct.unpack(">d", self.memory[address : address + 8])[0]
+
+    def write_double(self, address: int, value: float) -> None:
+        import struct
+
+        self._check_range(address, 8)
+        self.memory[address : address + 8] = struct.pack(">d", value)
+
+    # -- registers ---------------------------------------------------------
+
+    def reg(self, number: int) -> int:
+        """Read a GPR (register 0 is hardwired zero)."""
+        return 0 if number == 0 else self.registers[number] & 0xFFFFFFFF
+
+    def set_reg(self, number: int, value: int) -> None:
+        if number != 0:
+            self.registers[number] = value & 0xFFFFFFFF
+
+    def _sreg(self, number: int) -> int:
+        """Signed view of a GPR."""
+        return sign_extend(self.reg(number), 32)
+
+    def fpr_double(self, number: int) -> float:
+        return self.fpr[number & ~1]
+
+    def set_fpr_double(self, number: int, value: float) -> None:
+        self.fpr[number & ~1] = float(value)
+
+    # -- execution -----------------------------------------------------------
+
+    def fetch(self, address: int) -> int:
+        """Fetch an instruction word, via the hook when installed."""
+        if self._fetch_hook is not None:
+            return self._fetch_hook(address)
+        return self.read_word(address)
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            raise MachineError("machine is halted")
+        word = self.fetch(self.pc)
+        instruction = decode(word)
+        self.instructions_executed += 1
+        next_pc = self.pc + 4
+        next_pc = self._execute(instruction, next_pc)
+        self.pc = next_pc
+
+    def run(self, max_instructions: int = 1_000_000) -> MachineState:
+        """Run until ``syscall`` halts the machine or the budget expires."""
+        while not self.halted:
+            if self.instructions_executed >= max_instructions:
+                raise MachineError(
+                    f"instruction budget {max_instructions} exhausted"
+                )
+            self.step()
+        return self.state()
+
+    def state(self) -> MachineState:
+        return MachineState(
+            pc=self.pc,
+            registers=[self.reg(i) for i in range(32)],
+            hi=self.hi,
+            lo=self.lo,
+            halted=self.halted,
+            instructions_executed=self.instructions_executed,
+        )
+
+    # -- semantics -------------------------------------------------------------
+
+    def _execute(self, instr: Instruction, next_pc: int) -> int:
+        handler = _HANDLERS.get(instr.mnemonic)
+        if handler is None:
+            raise MachineError(f"no semantics for {instr.mnemonic!r}")
+        return handler(self, instr, next_pc)
+
+
+def _branch_target(machine: MipsMachine, instr: Instruction, next_pc: int) -> int:
+    return next_pc + 4 * sign_extend(instr.imm, 16)
+
+
+def _alu_r(op):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        m.set_reg(i.rd, op(m, i))
+        return next_pc
+
+    return handler
+
+
+def _alu_i(op):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        m.set_reg(i.rt, op(m, i))
+        return next_pc
+
+    return handler
+
+
+def _branch(condition):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        # MIPS branch targets are relative to the instruction after the
+        # branch (we model no delay slot, but keep the encoding).
+        if condition(m, i):
+            return _branch_target(m, i, next_pc)
+        return next_pc
+
+    return handler
+
+
+def _load(read, extend):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        address = (m.reg(i.rs) + sign_extend(i.imm, 16)) & 0xFFFFFFFF
+        m.set_reg(i.rt, extend(read(m, address)))
+        return next_pc
+
+    return handler
+
+
+def _store(write, mask):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        address = (m.reg(i.rs) + sign_extend(i.imm, 16)) & 0xFFFFFFFF
+        write(m, address, m.reg(i.rt) & mask)
+        return next_pc
+
+    return handler
+
+
+def _fp_arith(op):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        # COP1 layout: ft->rt, fs->rd, fd->shamt.
+        result = op(m.fpr_double(i.rd), m.fpr_double(i.rt))
+        m.set_fpr_double(i.shamt, result)
+        return next_pc
+
+    return handler
+
+
+def _syscall(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+    m.halted = True
+    return next_pc
+
+
+def _jr(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+    return m.reg(i.rs)
+
+
+def _jalr(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+    m.set_reg(i.rd if i.rd else 31, next_pc)
+    return m.reg(i.rs)
+
+
+def _j(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+    return ((next_pc - 4) & 0xF0000000) | (i.target << 2)
+
+
+def _jal(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+    m.set_reg(31, next_pc)
+    return _j(m, i, next_pc)
+
+
+def _mult(signed: bool):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        a = m._sreg(i.rs) if signed else m.reg(i.rs)
+        b = m._sreg(i.rt) if signed else m.reg(i.rt)
+        product = a * b
+        m.lo = product & 0xFFFFFFFF
+        m.hi = (product >> 32) & 0xFFFFFFFF
+        return next_pc
+
+    return handler
+
+
+def _div(signed: bool):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        a = m._sreg(i.rs) if signed else m.reg(i.rs)
+        b = m._sreg(i.rt) if signed else m.reg(i.rt)
+        if b == 0:
+            m.lo, m.hi = 0, 0  # MIPS leaves these undefined; pin to zero
+        else:
+            quotient = int(a / b) if signed else a // b
+            remainder = a - quotient * b
+            m.lo = quotient & 0xFFFFFFFF
+            m.hi = remainder & 0xFFFFFFFF
+        return next_pc
+
+    return handler
+
+
+def _fp_load(double: bool):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        address = (m.reg(i.rs) + sign_extend(i.imm, 16)) & 0xFFFFFFFF
+        if double:
+            m.set_fpr_double(i.rt, m.read_double(address))
+        else:
+            import struct
+
+            raw = m.read_word(address)
+            m.fpr[i.rt] = struct.unpack(">f", raw.to_bytes(4, "big"))[0]
+        return next_pc
+
+    return handler
+
+
+def _fp_store(double: bool):
+    def handler(m: MipsMachine, i: Instruction, next_pc: int) -> int:
+        address = (m.reg(i.rs) + sign_extend(i.imm, 16)) & 0xFFFFFFFF
+        if double:
+            m.write_double(address, m.fpr_double(i.rt))
+        else:
+            import struct
+
+            raw = struct.pack(">f", m.fpr[i.rt])
+            m.write_word(address, int.from_bytes(raw, "big"))
+        return next_pc
+
+    return handler
+
+
+def _to_single(value: float) -> float:
+    """Round a double through IEEE single precision."""
+    import struct
+
+    return struct.unpack(">f", struct.pack(">f", value))[0]
+
+
+_HANDLERS: Dict[str, Callable] = {
+    # R-type ALU
+    "addu": _alu_r(lambda m, i: m.reg(i.rs) + m.reg(i.rt)),
+    "add": _alu_r(lambda m, i: m.reg(i.rs) + m.reg(i.rt)),
+    "subu": _alu_r(lambda m, i: m.reg(i.rs) - m.reg(i.rt)),
+    "sub": _alu_r(lambda m, i: m.reg(i.rs) - m.reg(i.rt)),
+    "and": _alu_r(lambda m, i: m.reg(i.rs) & m.reg(i.rt)),
+    "or": _alu_r(lambda m, i: m.reg(i.rs) | m.reg(i.rt)),
+    "xor": _alu_r(lambda m, i: m.reg(i.rs) ^ m.reg(i.rt)),
+    "nor": _alu_r(lambda m, i: ~(m.reg(i.rs) | m.reg(i.rt))),
+    "slt": _alu_r(lambda m, i: int(m._sreg(i.rs) < m._sreg(i.rt))),
+    "sltu": _alu_r(lambda m, i: int(m.reg(i.rs) < m.reg(i.rt))),
+    "sll": _alu_r(lambda m, i: m.reg(i.rt) << i.shamt),
+    "srl": _alu_r(lambda m, i: m.reg(i.rt) >> i.shamt),
+    "sra": _alu_r(lambda m, i: m._sreg(i.rt) >> i.shamt),
+    "sllv": _alu_r(lambda m, i: m.reg(i.rt) << (m.reg(i.rs) & 31)),
+    "srlv": _alu_r(lambda m, i: m.reg(i.rt) >> (m.reg(i.rs) & 31)),
+    "srav": _alu_r(lambda m, i: m._sreg(i.rt) >> (m.reg(i.rs) & 31)),
+    "mfhi": _alu_r(lambda m, i: m.hi),
+    "mflo": _alu_r(lambda m, i: m.lo),
+    # I-type ALU
+    "addiu": _alu_i(lambda m, i: m.reg(i.rs) + sign_extend(i.imm, 16)),
+    "addi": _alu_i(lambda m, i: m.reg(i.rs) + sign_extend(i.imm, 16)),
+    "andi": _alu_i(lambda m, i: m.reg(i.rs) & i.imm),
+    "ori": _alu_i(lambda m, i: m.reg(i.rs) | i.imm),
+    "xori": _alu_i(lambda m, i: m.reg(i.rs) ^ i.imm),
+    "slti": _alu_i(lambda m, i: int(m._sreg(i.rs) < sign_extend(i.imm, 16))),
+    "sltiu": _alu_i(
+        lambda m, i: int(m.reg(i.rs) < (sign_extend(i.imm, 16) & 0xFFFFFFFF))
+    ),
+    "lui": _alu_i(lambda m, i: i.imm << 16),
+    # loads / stores
+    "lw": _load(lambda m, a: m.read_word(a), lambda v: v),
+    "lb": _load(lambda m, a: m.read_byte(a), lambda v: sign_extend(v, 8)),
+    "lbu": _load(lambda m, a: m.read_byte(a), lambda v: v),
+    "lh": _load(lambda m, a: m.read_half(a), lambda v: sign_extend(v, 16)),
+    "lhu": _load(lambda m, a: m.read_half(a), lambda v: v),
+    "sw": _store(lambda m, a, v: m.write_word(a, v), 0xFFFFFFFF),
+    "sb": _store(lambda m, a, v: m.write_byte(a, v), 0xFF),
+    "sh": _store(lambda m, a, v: m.write_half(a, v), 0xFFFF),
+    # branches
+    "beq": _branch(lambda m, i: m.reg(i.rs) == m.reg(i.rt)),
+    "bne": _branch(lambda m, i: m.reg(i.rs) != m.reg(i.rt)),
+    "blez": _branch(lambda m, i: m._sreg(i.rs) <= 0),
+    "bgtz": _branch(lambda m, i: m._sreg(i.rs) > 0),
+    "bltz": _branch(lambda m, i: m._sreg(i.rs) < 0),
+    "bgez": _branch(lambda m, i: m._sreg(i.rs) >= 0),
+    # jumps and control
+    "j": _j,
+    "jal": _jal,
+    "jr": _jr,
+    "jalr": _jalr,
+    "syscall": _syscall,
+    # HI/LO
+    "mult": _mult(True),
+    "multu": _mult(False),
+    "div": _div(True),
+    "divu": _div(False),
+    "mthi": lambda m, i, n: (setattr(m, "hi", m.reg(i.rs)), n)[1],
+    "mtlo": lambda m, i, n: (setattr(m, "lo", m.reg(i.rs)), n)[1],
+    # FP (double precision; single-precision arithmetic maps onto floats)
+    "add.d": _fp_arith(lambda a, b: a + b),
+    "sub.d": _fp_arith(lambda a, b: a - b),
+    "mul.d": _fp_arith(lambda a, b: a * b),
+    "div.d": _fp_arith(lambda a, b: a / b if b else 0.0),
+    "add.s": _fp_arith(lambda a, b: a + b),
+    "sub.s": _fp_arith(lambda a, b: a - b),
+    "mul.s": _fp_arith(lambda a, b: a * b),
+    "div.s": _fp_arith(lambda a, b: a / b if b else 0.0),
+    "mov.d": _fp_arith(lambda a, b: a),
+    "mov.s": _fp_arith(lambda a, b: a),
+    # Format conversions: registers hold Python floats, so conversion is
+    # a move plus (for cvt.s.d) a precision clamp.
+    "cvt.d.s": _fp_arith(lambda a, b: a),
+    "cvt.s.d": _fp_arith(lambda a, b: _to_single(a)),
+    "ldc1": _fp_load(True),
+    "lwc1": _fp_load(False),
+    "sdc1": _fp_store(True),
+    "swc1": _fp_store(False),
+}

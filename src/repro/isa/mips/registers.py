@@ -1,0 +1,43 @@
+"""MIPS general-purpose and floating-point register definitions."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Conventional MIPS o32 register names indexed by register number.
+GPR_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Reverse map: name -> number (accepts both "$t0" and "t0" spellings).
+GPR_NUMBERS: Dict[str, int] = {}
+for _num, _name in enumerate(GPR_NAMES):
+    GPR_NUMBERS[_name] = _num
+    GPR_NUMBERS["$" + _name] = _num
+    GPR_NUMBERS[f"${_num}"] = _num
+    GPR_NUMBERS[f"r{_num}"] = _num
+
+
+def register_number(name: str) -> int:
+    """Resolve a register name ("$t0", "t0", "$8", "r8") to its number."""
+    key = name.strip().lower()
+    if key not in GPR_NUMBERS:
+        raise ValueError(f"unknown MIPS register {name!r}")
+    return GPR_NUMBERS[key]
+
+
+def register_name(number: int) -> str:
+    """Conventional name for a register number (0..31)."""
+    if not 0 <= number < 32:
+        raise ValueError(f"register number {number} out of range")
+    return "$" + GPR_NAMES[number]
+
+
+def fpr_name(number: int) -> str:
+    """Name of a floating-point register ($f0..$f31)."""
+    if not 0 <= number < 32:
+        raise ValueError(f"FP register number {number} out of range")
+    return f"$f{number}"

@@ -1,0 +1,118 @@
+"""SADC stream subdivision for MIPS (Section 4 of the paper).
+
+MIPS instructions are divided into four streams of different widths:
+
+* **opcode stream** — one canonical opcode id per instruction.  This is
+  the "simplified opcode" the paper's decoder works with: it identifies
+  the mnemonic, and through the operand-length unit it determines how many
+  register and immediate entries the instruction consumes.
+* **register stream** — 5-bit entries: the register fields (and shift
+  amounts) of each instruction, in a fixed per-opcode order.
+* **immediate stream** — 16-bit entries for I-type immediates.
+* **long-immediate stream** — 26-bit entries for J-type targets.
+
+The split is exactly invertible: :func:`merge_streams` is the software
+model of the paper's instruction-generator unit (Figure 6), which ORs the
+decompressed streams back into 32-bit words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bitstream.fields import chunk_words, words_to_bytes
+from repro.isa.mips.formats import (
+    OPCODES,
+    Instruction,
+    OpcodeSpec,
+    decode,
+)
+
+#: Stable numbering of mnemonics: the "simplified opcode" values.
+OPCODE_IDS: Dict[str, int] = {spec.mnemonic: i for i, spec in enumerate(OPCODES)}
+ID_TO_SPEC: Dict[int, OpcodeSpec] = {i: spec for i, spec in enumerate(OPCODES)}
+
+#: Per-format register-slot order.  ``shamt`` rides in the register stream
+#: (it is a 5-bit field, statistically register-like).
+_REGISTER_SLOTS: Dict[str, Tuple[str, ...]] = {}
+for _spec in OPCODES:
+    slots: List[str] = []
+    for operand in _spec.operands:
+        if operand in ("rs", "rt", "rd", "shamt"):
+            slots.append(operand)
+        elif operand in ("fd", "fs", "ft"):
+            slots.append({"ft": "rt", "fs": "rd", "fd": "shamt"}[operand])
+    _REGISTER_SLOTS[_spec.mnemonic] = tuple(slots)
+
+
+def register_slots(spec: OpcodeSpec) -> Tuple[str, ...]:
+    """Register-stream slots an opcode consumes, in stream order."""
+    return _REGISTER_SLOTS[spec.mnemonic]
+
+
+def uses_imm16(spec: OpcodeSpec) -> bool:
+    """True when the opcode consumes one 16-bit immediate-stream entry."""
+    return spec.fmt == "I" and "imm" in spec.operands
+
+
+def uses_imm26(spec: OpcodeSpec) -> bool:
+    """True when the opcode consumes one 26-bit long-immediate entry."""
+    return spec.fmt == "J"
+
+
+@dataclass
+class MipsStreams:
+    """The four SADC streams extracted from a MIPS code image."""
+
+    opcodes: List[int] = field(default_factory=list)
+    registers: List[int] = field(default_factory=list)
+    imm16: List[int] = field(default_factory=list)
+    imm26: List[int] = field(default_factory=list)
+
+    def bit_sizes(self) -> Dict[str, int]:
+        """Raw (uncompressed) size of each stream in bits."""
+        return {
+            "opcodes": 8 * len(self.opcodes),
+            "registers": 5 * len(self.registers),
+            "imm16": 16 * len(self.imm16),
+            "imm26": 26 * len(self.imm26),
+        }
+
+    def total_bits(self) -> int:
+        return sum(self.bit_sizes().values())
+
+
+def split_streams(code: bytes) -> MipsStreams:
+    """Split a big-endian MIPS code image into its four SADC streams."""
+    streams = MipsStreams()
+    for word in chunk_words(code, 4):
+        instruction = decode(word)
+        spec = instruction.spec
+        streams.opcodes.append(OPCODE_IDS[spec.mnemonic])
+        for slot in register_slots(spec):
+            streams.registers.append(getattr(instruction, slot))
+        if uses_imm16(spec):
+            streams.imm16.append(instruction.imm)
+        if uses_imm26(spec):
+            streams.imm26.append(instruction.target)
+    return streams
+
+
+def merge_streams(streams: MipsStreams) -> bytes:
+    """Reassemble a code image from its streams (instruction generator)."""
+    registers = iter(streams.registers)
+    imm16 = iter(streams.imm16)
+    imm26 = iter(streams.imm26)
+    words: List[int] = []
+    for opcode_id in streams.opcodes:
+        spec = ID_TO_SPEC[opcode_id]
+        fields = {"rs": 0, "rt": 0, "rd": 0, "shamt": 0, "imm": 0, "target": 0}
+        for slot in register_slots(spec):
+            fields[slot] = next(registers)
+        if uses_imm16(spec):
+            fields["imm"] = next(imm16)
+        if uses_imm26(spec):
+            fields["target"] = next(imm26)
+        words.append(Instruction(spec, **fields).encode())
+    return words_to_bytes(words, 4)

@@ -1,0 +1,30 @@
+"""Structural IA-32 instruction model: grammar, length decoder, streams."""
+
+from repro.isa.x86.formats import (
+    ONE_BYTE_TABLE,
+    TWO_BYTE_TABLE,
+    X86DecodeError,
+    X86Instruction,
+    X86OpcodeInfo,
+    decode_all,
+    decode_one,
+    modrm_fields,
+)
+from repro.isa.x86.interp import X86Machine, X86MachineError
+from repro.isa.x86.streams import X86Streams, merge_streams, split_streams
+
+__all__ = [
+    "ONE_BYTE_TABLE",
+    "TWO_BYTE_TABLE",
+    "X86DecodeError",
+    "X86Instruction",
+    "X86Machine",
+    "X86MachineError",
+    "X86OpcodeInfo",
+    "X86Streams",
+    "decode_all",
+    "decode_one",
+    "merge_streams",
+    "modrm_fields",
+    "split_streams",
+]

@@ -1,0 +1,288 @@
+"""A structural IA-32 (Pentium Pro era) instruction model.
+
+x86 instructions are variable length::
+
+    [prefixes] opcode(1-2) [ModRM] [SIB] [disp 0/1/4] [imm 0/1/2/4]
+
+The paper's x86 experiments need exactly this structural decomposition:
+SADC on Pentium forms three byte streams — opcode bytes, ModRM+SIB bytes,
+and immediate+displacement bytes — and file-oriented baselines just see
+the raw bytes.  We therefore model the *encoding grammar* (which bytes an
+instruction comprises and why), not execution semantics.
+
+The opcode inventory covers what a 1990s C compiler emits: MOV, the ALU
+group, PUSH/POP, LEA, TEST, INC/DEC, shifts, IMUL, Jcc/JMP/CALL/RET,
+LEAVE, SETcc, MOVZX/MOVSX, and NOP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Immediate kinds.  ``iz`` is 4 bytes (2 with an operand-size prefix).
+IMM_NONE = "none"
+IMM_IB = "ib"  # 1 byte
+IMM_IW = "iw"  # 2 bytes
+IMM_IZ = "iz"  # 4 bytes (2 with 0x66 prefix)
+
+#: Recognised prefixes (operand size, address size, the common segment
+#: overrides, REP/REPNE, LOCK).
+PREFIXES = frozenset({0x66, 0x67, 0x2E, 0x36, 0x3E, 0x26, 0x64, 0x65, 0xF0, 0xF2, 0xF3})
+
+OPERAND_SIZE_PREFIX = 0x66
+
+
+@dataclass(frozen=True)
+class X86OpcodeInfo:
+    """Encoding grammar for one opcode byte (or 0F-escaped byte)."""
+
+    name: str
+    has_modrm: bool = False
+    imm: str = IMM_NONE
+    #: For group opcodes whose immediate depends on the ModRM reg field
+    #: (e.g. F7 /0 TEST has imm32, F7 /3 NEG has none), maps reg -> imm kind.
+    imm_by_reg: Optional[Dict[int, str]] = None
+
+
+def _alu_block(base: int, name: str) -> Dict[int, X86OpcodeInfo]:
+    """The classic 6-opcode ALU pattern at ``base``: /r forms + imm forms."""
+    return {
+        base + 0: X86OpcodeInfo(f"{name} r/m8, r8", has_modrm=True),
+        base + 1: X86OpcodeInfo(f"{name} r/m32, r32", has_modrm=True),
+        base + 2: X86OpcodeInfo(f"{name} r8, r/m8", has_modrm=True),
+        base + 3: X86OpcodeInfo(f"{name} r32, r/m32", has_modrm=True),
+        base + 4: X86OpcodeInfo(f"{name} al, imm8", imm=IMM_IB),
+        base + 5: X86OpcodeInfo(f"{name} eax, imm32", imm=IMM_IZ),
+    }
+
+
+ONE_BYTE_TABLE: Dict[int, X86OpcodeInfo] = {}
+for _base, _name in (
+    (0x00, "add"), (0x08, "or"), (0x10, "adc"), (0x18, "sbb"),
+    (0x20, "and"), (0x28, "sub"), (0x30, "xor"), (0x38, "cmp"),
+):
+    ONE_BYTE_TABLE.update(_alu_block(_base, _name))
+
+for _reg in range(8):
+    ONE_BYTE_TABLE[0x40 + _reg] = X86OpcodeInfo(f"inc r{_reg}")
+    ONE_BYTE_TABLE[0x48 + _reg] = X86OpcodeInfo(f"dec r{_reg}")
+    ONE_BYTE_TABLE[0x50 + _reg] = X86OpcodeInfo(f"push r{_reg}")
+    ONE_BYTE_TABLE[0x58 + _reg] = X86OpcodeInfo(f"pop r{_reg}")
+    ONE_BYTE_TABLE[0xB0 + _reg] = X86OpcodeInfo(f"mov r{_reg}b, imm8", imm=IMM_IB)
+    ONE_BYTE_TABLE[0xB8 + _reg] = X86OpcodeInfo(f"mov r{_reg}, imm32", imm=IMM_IZ)
+
+ONE_BYTE_TABLE.update({
+    0x68: X86OpcodeInfo("push imm32", imm=IMM_IZ),
+    0x69: X86OpcodeInfo("imul r32, r/m32, imm32", has_modrm=True, imm=IMM_IZ),
+    0x6A: X86OpcodeInfo("push imm8", imm=IMM_IB),
+    0x6B: X86OpcodeInfo("imul r32, r/m32, imm8", has_modrm=True, imm=IMM_IB),
+    0x80: X86OpcodeInfo("grp1 r/m8, imm8", has_modrm=True, imm=IMM_IB),
+    0x81: X86OpcodeInfo("grp1 r/m32, imm32", has_modrm=True, imm=IMM_IZ),
+    0x83: X86OpcodeInfo("grp1 r/m32, imm8", has_modrm=True, imm=IMM_IB),
+    0x84: X86OpcodeInfo("test r/m8, r8", has_modrm=True),
+    0x85: X86OpcodeInfo("test r/m32, r32", has_modrm=True),
+    0x88: X86OpcodeInfo("mov r/m8, r8", has_modrm=True),
+    0x89: X86OpcodeInfo("mov r/m32, r32", has_modrm=True),
+    0x8A: X86OpcodeInfo("mov r8, r/m8", has_modrm=True),
+    0x8B: X86OpcodeInfo("mov r32, r/m32", has_modrm=True),
+    0x8D: X86OpcodeInfo("lea r32, m", has_modrm=True),
+    0x90: X86OpcodeInfo("nop"),
+    0x98: X86OpcodeInfo("cwde"),
+    0x99: X86OpcodeInfo("cdq"),
+    0xA8: X86OpcodeInfo("test al, imm8", imm=IMM_IB),
+    0xA9: X86OpcodeInfo("test eax, imm32", imm=IMM_IZ),
+    0xC0: X86OpcodeInfo("grp2 r/m8, imm8", has_modrm=True, imm=IMM_IB),
+    0xC1: X86OpcodeInfo("grp2 r/m32, imm8", has_modrm=True, imm=IMM_IB),
+    0xC2: X86OpcodeInfo("ret imm16", imm=IMM_IW),
+    0xC3: X86OpcodeInfo("ret"),
+    0xC6: X86OpcodeInfo("mov r/m8, imm8", has_modrm=True, imm=IMM_IB),
+    0xC7: X86OpcodeInfo("mov r/m32, imm32", has_modrm=True, imm=IMM_IZ),
+    0xC9: X86OpcodeInfo("leave"),
+    0xD1: X86OpcodeInfo("grp2 r/m32, 1", has_modrm=True),
+    0xD3: X86OpcodeInfo("grp2 r/m32, cl", has_modrm=True),
+    0xE8: X86OpcodeInfo("call rel32", imm=IMM_IZ),
+    0xE9: X86OpcodeInfo("jmp rel32", imm=IMM_IZ),
+    0xEB: X86OpcodeInfo("jmp rel8", imm=IMM_IB),
+    0xF6: X86OpcodeInfo(
+        "grp3 r/m8", has_modrm=True,
+        imm_by_reg={0: IMM_IB, 1: IMM_IB},
+    ),
+    0xF7: X86OpcodeInfo(
+        "grp3 r/m32", has_modrm=True,
+        imm_by_reg={0: IMM_IZ, 1: IMM_IZ},
+    ),
+    0xFE: X86OpcodeInfo("grp4 r/m8", has_modrm=True),
+    0xFF: X86OpcodeInfo("grp5 r/m32", has_modrm=True),
+})
+
+for _cc in range(16):
+    ONE_BYTE_TABLE[0x70 + _cc] = X86OpcodeInfo(f"jcc{_cc} rel8", imm=IMM_IB)
+
+TWO_BYTE_TABLE: Dict[int, X86OpcodeInfo] = {
+    0xAF: X86OpcodeInfo("imul r32, r/m32", has_modrm=True),
+    0xB6: X86OpcodeInfo("movzx r32, r/m8", has_modrm=True),
+    0xB7: X86OpcodeInfo("movzx r32, r/m16", has_modrm=True),
+    0xBE: X86OpcodeInfo("movsx r32, r/m8", has_modrm=True),
+    0xBF: X86OpcodeInfo("movsx r32, r/m16", has_modrm=True),
+    0xA2: X86OpcodeInfo("cpuid"),
+    0x31: X86OpcodeInfo("rdtsc"),
+}
+for _cc in range(16):
+    TWO_BYTE_TABLE[0x80 + _cc] = X86OpcodeInfo(f"jcc{_cc} rel32", imm=IMM_IZ)
+    TWO_BYTE_TABLE[0x90 + _cc] = X86OpcodeInfo(f"setcc{_cc} r/m8", has_modrm=True)
+
+
+@dataclass
+class X86Instruction:
+    """One decoded x86 instruction, broken into its structural pieces."""
+
+    prefixes: bytes = b""
+    opcode: bytes = b"\x90"
+    modrm: Optional[int] = None
+    sib: Optional[int] = None
+    disp: bytes = b""
+    imm: bytes = b""
+
+    @property
+    def length(self) -> int:
+        """Total encoded length in bytes."""
+        return (
+            len(self.prefixes)
+            + len(self.opcode)
+            + (1 if self.modrm is not None else 0)
+            + (1 if self.sib is not None else 0)
+            + len(self.disp)
+            + len(self.imm)
+        )
+
+    @property
+    def info(self) -> X86OpcodeInfo:
+        """The grammar entry for this instruction's opcode."""
+        if len(self.opcode) == 2:
+            return TWO_BYTE_TABLE[self.opcode[1]]
+        return ONE_BYTE_TABLE[self.opcode[0]]
+
+    def encode(self) -> bytes:
+        """Serialise back to machine bytes."""
+        out = bytearray(self.prefixes)
+        out.extend(self.opcode)
+        if self.modrm is not None:
+            out.append(self.modrm)
+        if self.sib is not None:
+            out.append(self.sib)
+        out.extend(self.disp)
+        out.extend(self.imm)
+        return bytes(out)
+
+
+def modrm_fields(modrm: int) -> Tuple[int, int, int]:
+    """Split a ModRM byte into (mod, reg, rm)."""
+    return (modrm >> 6) & 0x3, (modrm >> 3) & 0x7, modrm & 0x7
+
+
+def _disp_size(mod: int, rm: int, sib: Optional[int]) -> int:
+    """Displacement size implied by ModRM (32-bit addressing)."""
+    if mod == 0:
+        if rm == 5:
+            return 4
+        if sib is not None and (sib & 0x7) == 5:
+            return 4
+        return 0
+    if mod == 1:
+        return 1
+    if mod == 2:
+        return 4
+    return 0  # mod == 3: register operand, no displacement
+
+
+def _imm_size(kind: str, operand_size_override: bool) -> int:
+    if kind == IMM_NONE:
+        return 0
+    if kind == IMM_IB:
+        return 1
+    if kind == IMM_IW:
+        return 2
+    if kind == IMM_IZ:
+        return 2 if operand_size_override else 4
+    raise ValueError(f"unknown immediate kind {kind!r}")
+
+
+class X86DecodeError(ValueError):
+    """Raised when a byte sequence is not a modelled x86 instruction."""
+
+
+def decode_one(code: bytes, offset: int = 0) -> X86Instruction:
+    """Decode the instruction starting at ``offset``.
+
+    This is a *length* decoder: it recovers the structural decomposition
+    (prefixes / opcode / ModRM / SIB / disp / imm) that stream subdivision
+    and the decompressor block diagram rely on.
+    """
+    pos = offset
+    prefixes = bytearray()
+    while pos < len(code) and code[pos] in PREFIXES:
+        prefixes.append(code[pos])
+        pos += 1
+        if len(prefixes) > 4:
+            raise X86DecodeError(f"too many prefixes at offset {offset}")
+    if pos >= len(code):
+        raise X86DecodeError(f"truncated instruction at offset {offset}")
+
+    if code[pos] == 0x0F:
+        if pos + 1 >= len(code):
+            raise X86DecodeError(f"truncated 0F opcode at offset {offset}")
+        opcode = bytes(code[pos : pos + 2])
+        info = TWO_BYTE_TABLE.get(code[pos + 1])
+        pos += 2
+    else:
+        opcode = bytes(code[pos : pos + 1])
+        info = ONE_BYTE_TABLE.get(code[pos])
+        pos += 1
+    if info is None:
+        raise X86DecodeError(f"unknown opcode {opcode.hex()} at offset {offset}")
+
+    modrm = None
+    sib = None
+    if info.has_modrm:
+        if pos >= len(code):
+            raise X86DecodeError(f"truncated ModRM at offset {offset}")
+        modrm = code[pos]
+        pos += 1
+        mod, _reg, rm = modrm_fields(modrm)
+        if mod != 3 and rm == 4:
+            if pos >= len(code):
+                raise X86DecodeError(f"truncated SIB at offset {offset}")
+            sib = code[pos]
+            pos += 1
+
+    mod, reg, rm = modrm_fields(modrm) if modrm is not None else (3, 0, 0)
+    disp_len = _disp_size(mod, rm, sib) if modrm is not None else 0
+    disp = bytes(code[pos : pos + disp_len])
+    if len(disp) != disp_len:
+        raise X86DecodeError(f"truncated displacement at offset {offset}")
+    pos += disp_len
+
+    imm_kind = info.imm
+    if info.imm_by_reg is not None:
+        imm_kind = info.imm_by_reg.get(reg, IMM_NONE)
+    imm_len = _imm_size(imm_kind, OPERAND_SIZE_PREFIX in prefixes)
+    imm = bytes(code[pos : pos + imm_len])
+    if len(imm) != imm_len:
+        raise X86DecodeError(f"truncated immediate at offset {offset}")
+
+    return X86Instruction(
+        prefixes=bytes(prefixes), opcode=opcode, modrm=modrm, sib=sib,
+        disp=disp, imm=imm,
+    )
+
+
+def decode_all(code: bytes) -> List[X86Instruction]:
+    """Decode an entire code image into its instruction sequence."""
+    out: List[X86Instruction] = []
+    pos = 0
+    while pos < len(code):
+        instruction = decode_one(code, pos)
+        out.append(instruction)
+        pos += instruction.length
+    return out

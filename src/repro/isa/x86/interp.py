@@ -1,0 +1,367 @@
+"""A compact IA-32 interpreter for the modelled opcode subset.
+
+The x86 counterpart of :mod:`repro.isa.mips.interp`: enough semantics to
+execute the kernels in :mod:`repro.workloads.x86_kernels` — 32-bit MOV
+(register/immediate/memory forms), the ALU group, PUSH/POP, INC/DEC,
+LEA, TEST, MOVZX, short conditional branches with real EFLAGS
+(ZF/SF/OF/CF), CALL/RET, LEAVE, and NOP — over a flat little-endian
+memory.  A ``ret`` executed at call depth 0 halts the machine (the
+embedded "exit" convention).
+
+Addressing support matches what compilers emit in straight-line kernels:
+``mod=11`` register operands, ``[reg]`` and ``[reg+disp8/32]`` memory
+operands.  SIB-based forms raise :class:`X86MachineError` rather than
+mis-execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.bitstream.fields import sign_extend
+from repro.isa.x86.formats import X86Instruction, decode_one, modrm_fields
+
+#: A byte-granular fetch hook: (address, length) -> bytes.
+FetchBytes = Callable[[int, int], bytes]
+
+EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI = range(8)
+
+
+class X86MachineError(RuntimeError):
+    """Raised for unsupported encodings or invalid execution."""
+
+
+@dataclass
+class X86Flags:
+    """The EFLAGS bits the modelled subset reads."""
+
+    zf: bool = False
+    sf: bool = False
+    of: bool = False
+    cf: bool = False
+
+
+class X86Machine:
+    """Executes IA-32 code from a byte-addressed little-endian memory."""
+
+    #: Generous per-fetch window: the longest modelled instruction.
+    MAX_INSTRUCTION_BYTES = 12
+
+    def __init__(
+        self,
+        memory_size: int = 1 << 20,
+        entry_point: int = 0,
+        fetch_bytes: Optional[FetchBytes] = None,
+    ) -> None:
+        self.memory = bytearray(memory_size)
+        self.regs = [0] * 8
+        self.flags = X86Flags()
+        self.eip = entry_point
+        self.halted = False
+        self.instructions_executed = 0
+        self.call_depth = 0
+        self._fetch_bytes = fetch_bytes
+        self.regs[ESP] = (memory_size - 16) & ~3
+
+    # -- memory ------------------------------------------------------------
+
+    def load_code(self, code: bytes, address: int = 0) -> None:
+        self._check(address, len(code))
+        self.memory[address : address + len(code)] = code
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or address + length > len(self.memory):
+            raise X86MachineError(
+                f"access [{address:#x}, {address + length:#x}) outside memory"
+            )
+
+    def read32(self, address: int) -> int:
+        self._check(address, 4)
+        return int.from_bytes(self.memory[address : address + 4], "little")
+
+    def write32(self, address: int, value: int) -> None:
+        self._check(address, 4)
+        self.memory[address : address + 4] = (value & 0xFFFFFFFF).to_bytes(
+            4, "little"
+        )
+
+    def read8(self, address: int) -> int:
+        self._check(address, 1)
+        return self.memory[address]
+
+    def write8(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self.memory[address] = value & 0xFF
+
+    # -- stack --------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        self.regs[ESP] = (self.regs[ESP] - 4) & 0xFFFFFFFF
+        self.write32(self.regs[ESP], value)
+
+    def pop(self) -> int:
+        value = self.read32(self.regs[ESP])
+        self.regs[ESP] = (self.regs[ESP] + 4) & 0xFFFFFFFF
+        return value
+
+    # -- flags ----------------------------------------------------------------
+
+    def _set_logic_flags(self, result: int) -> None:
+        result &= 0xFFFFFFFF
+        self.flags.zf = result == 0
+        self.flags.sf = bool(result >> 31)
+        self.flags.cf = False
+        self.flags.of = False
+
+    def _set_add_flags(self, a: int, b: int, result: int) -> None:
+        masked = result & 0xFFFFFFFF
+        self.flags.zf = masked == 0
+        self.flags.sf = bool(masked >> 31)
+        self.flags.cf = result > 0xFFFFFFFF
+        sa, sb, sr = a >> 31, b >> 31, masked >> 31
+        self.flags.of = (sa == sb) and (sr != sa)
+
+    def _set_sub_flags(self, a: int, b: int) -> None:
+        result = (a - b) & 0xFFFFFFFF
+        self.flags.zf = result == 0
+        self.flags.sf = bool(result >> 31)
+        self.flags.cf = a < b
+        sa, sb, sr = a >> 31, b >> 31, result >> 31
+        self.flags.of = (sa != sb) and (sr != sa)
+
+    def _condition(self, cc: int) -> bool:
+        f = self.flags
+        table = {
+            0x2: f.cf,                      # b
+            0x3: not f.cf,                  # ae
+            0x4: f.zf,                      # e
+            0x5: not f.zf,                  # ne
+            0x6: f.cf or f.zf,              # be
+            0x7: not (f.cf or f.zf),        # a
+            0xC: f.sf != f.of,              # l
+            0xD: f.sf == f.of,              # ge
+            0xE: f.zf or (f.sf != f.of),    # le
+            0xF: not f.zf and f.sf == f.of, # g
+        }
+        if cc not in table:
+            raise X86MachineError(f"unsupported condition code {cc:#x}")
+        return table[cc]
+
+    # -- ModRM operand resolution ------------------------------------------------
+
+    def _effective_address(self, instr: X86Instruction) -> int:
+        mod, _reg, rm = modrm_fields(instr.modrm)
+        if mod == 3:
+            raise X86MachineError("register form has no effective address")
+        if rm == 4:
+            raise X86MachineError("SIB addressing not supported by interpreter")
+        if mod == 0 and rm == 5:
+            return int.from_bytes(instr.disp, "little")
+        base = self.regs[rm]
+        disp = 0
+        if instr.disp:
+            disp = int.from_bytes(instr.disp, "little", signed=True)
+        return (base + disp) & 0xFFFFFFFF
+
+    def _read_rm32(self, instr: X86Instruction) -> int:
+        mod, _reg, rm = modrm_fields(instr.modrm)
+        if mod == 3:
+            return self.regs[rm]
+        return self.read32(self._effective_address(instr))
+
+    def _write_rm32(self, instr: X86Instruction, value: int) -> None:
+        mod, _reg, rm = modrm_fields(instr.modrm)
+        if mod == 3:
+            self.regs[rm] = value & 0xFFFFFFFF
+        else:
+            self.write32(self._effective_address(instr), value)
+
+    def _read_rm8(self, instr: X86Instruction) -> int:
+        mod, _reg, rm = modrm_fields(instr.modrm)
+        if mod == 3:
+            return self.regs[rm] & 0xFF  # low byte registers only
+        return self.read8(self._effective_address(instr))
+
+    def _write_rm8(self, instr: X86Instruction, value: int) -> None:
+        mod, _reg, rm = modrm_fields(instr.modrm)
+        if mod == 3:
+            self.regs[rm] = (self.regs[rm] & 0xFFFFFF00) | (value & 0xFF)
+        else:
+            self.write8(self._effective_address(instr), value)
+
+    # -- execution -------------------------------------------------------------
+
+    def fetch_instruction(self) -> X86Instruction:
+        if self._fetch_bytes is not None:
+            window = self._fetch_bytes(self.eip, self.MAX_INSTRUCTION_BYTES)
+        else:
+            end = min(len(self.memory), self.eip + self.MAX_INSTRUCTION_BYTES)
+            window = bytes(self.memory[self.eip : end])
+        return decode_one(window)
+
+    def step(self) -> None:
+        if self.halted:
+            raise X86MachineError("machine is halted")
+        instr = self.fetch_instruction()
+        self.instructions_executed += 1
+        self.eip = self._execute(instr, self.eip + instr.length)
+
+    def run(self, max_instructions: int = 1_000_000) -> None:
+        while not self.halted:
+            if self.instructions_executed >= max_instructions:
+                raise X86MachineError(
+                    f"instruction budget {max_instructions} exhausted"
+                )
+            self.step()
+
+    # -- semantics ----------------------------------------------------------------
+
+    _ALU_BY_REG = {0: "add", 1: "or", 4: "and", 5: "sub", 6: "xor", 7: "cmp"}
+
+    def _alu(self, name: str, a: int, b: int) -> Optional[int]:
+        """Perform an ALU op, set flags, return result (None for cmp)."""
+        if name == "add":
+            result = a + b
+            self._set_add_flags(a, b, result)
+            return result & 0xFFFFFFFF
+        if name == "sub":
+            self._set_sub_flags(a, b)
+            return (a - b) & 0xFFFFFFFF
+        if name == "cmp":
+            self._set_sub_flags(a, b)
+            return None
+        if name == "and":
+            result = a & b
+        elif name == "or":
+            result = a | b
+        elif name == "xor":
+            result = a ^ b
+        else:
+            raise X86MachineError(f"unsupported ALU op {name!r}")
+        self._set_logic_flags(result)
+        return result & 0xFFFFFFFF
+
+    _ALU_RM_R = {0x01: "add", 0x09: "or", 0x21: "and", 0x29: "sub",
+                 0x31: "xor", 0x39: "cmp"}
+    _ALU_R_RM = {0x03: "add", 0x0B: "or", 0x23: "and", 0x2B: "sub",
+                 0x33: "xor", 0x3B: "cmp"}
+
+    def _execute(self, instr: X86Instruction, next_eip: int) -> int:
+        opcode = instr.opcode
+        op = opcode[-1]
+
+        if len(opcode) == 2:  # 0F xx
+            return self._execute_0f(instr, op, next_eip)
+
+        if op == 0x90:  # nop
+            return next_eip
+        if op in self._ALU_RM_R:  # op r/m32, r32
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            result = self._alu(self._ALU_RM_R[op], self._read_rm32(instr),
+                               self.regs[reg])
+            if result is not None:
+                self._write_rm32(instr, result)
+            return next_eip
+        if op in self._ALU_R_RM:  # op r32, r/m32
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            result = self._alu(self._ALU_R_RM[op], self.regs[reg],
+                               self._read_rm32(instr))
+            if result is not None:
+                self.regs[reg] = result
+            return next_eip
+        if op in (0x83, 0x81):  # grp1 r/m32, imm8/imm32
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            if reg not in self._ALU_BY_REG:
+                raise X86MachineError(f"unsupported grp1 /{reg}")
+            imm = int.from_bytes(instr.imm, "little", signed=True) & 0xFFFFFFFF
+            result = self._alu(self._ALU_BY_REG[reg],
+                               self._read_rm32(instr), imm)
+            if result is not None:
+                self._write_rm32(instr, result)
+            return next_eip
+        if op == 0x85:  # test r/m32, r32
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            self._set_logic_flags(self._read_rm32(instr) & self.regs[reg])
+            return next_eip
+        if op == 0x89:  # mov r/m32, r32
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            self._write_rm32(instr, self.regs[reg])
+            return next_eip
+        if op == 0x8B:  # mov r32, r/m32
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            self.regs[reg] = self._read_rm32(instr)
+            return next_eip
+        if op == 0x88:  # mov r/m8, r8
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            self._write_rm8(instr, self.regs[reg] & 0xFF)
+            return next_eip
+        if op == 0x8A:  # mov r8, r/m8
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            self.regs[reg] = (self.regs[reg] & 0xFFFFFF00) | self._read_rm8(instr)
+            return next_eip
+        if op == 0x8D:  # lea r32, m
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            self.regs[reg] = self._effective_address(instr)
+            return next_eip
+        if 0xB8 <= op <= 0xBF:  # mov r32, imm32
+            self.regs[op - 0xB8] = int.from_bytes(instr.imm, "little")
+            return next_eip
+        if 0x50 <= op <= 0x57:  # push r32
+            self.push(self.regs[op - 0x50])
+            return next_eip
+        if 0x58 <= op <= 0x5F:  # pop r32
+            self.regs[op - 0x58] = self.pop()
+            return next_eip
+        if 0x40 <= op <= 0x47:  # inc r32 (CF unaffected)
+            reg = op - 0x40
+            saved_cf = self.flags.cf
+            result = self._alu("add", self.regs[reg], 1)
+            self.regs[reg] = result
+            self.flags.cf = saved_cf
+            return next_eip
+        if 0x48 <= op <= 0x4F:  # dec r32 (CF unaffected)
+            reg = op - 0x48
+            saved_cf = self.flags.cf
+            self._set_sub_flags(self.regs[reg], 1)
+            self.regs[reg] = (self.regs[reg] - 1) & 0xFFFFFFFF
+            self.flags.cf = saved_cf
+            return next_eip
+        if 0x70 <= op <= 0x7F:  # jcc rel8
+            if self._condition(op - 0x70):
+                return next_eip + sign_extend(instr.imm[0], 8)
+            return next_eip
+        if op == 0xEB:  # jmp rel8
+            return next_eip + sign_extend(instr.imm[0], 8)
+        if op == 0xE9:  # jmp rel32
+            return next_eip + int.from_bytes(instr.imm, "little", signed=True)
+        if op == 0xE8:  # call rel32
+            self.push(next_eip)
+            self.call_depth += 1
+            return next_eip + int.from_bytes(instr.imm, "little", signed=True)
+        if op == 0xC3:  # ret (halts at depth 0)
+            if self.call_depth == 0:
+                self.halted = True
+                return next_eip
+            self.call_depth -= 1
+            return self.pop()
+        if op == 0xC9:  # leave
+            self.regs[ESP] = self.regs[EBP]
+            self.regs[EBP] = self.pop()
+            return next_eip
+        raise X86MachineError(
+            f"no semantics for opcode {opcode.hex()} "
+            f"({instr.info.name})"
+        )
+
+    def _execute_0f(self, instr: X86Instruction, op: int, next_eip: int) -> int:
+        if op == 0xB6:  # movzx r32, r/m8
+            _mod, reg, _rm = modrm_fields(instr.modrm)
+            self.regs[reg] = self._read_rm8(instr)
+            return next_eip
+        if 0x80 <= op <= 0x8F:  # jcc rel32
+            if self._condition(op - 0x80):
+                return next_eip + int.from_bytes(instr.imm, "little",
+                                                 signed=True)
+            return next_eip
+        raise X86MachineError(f"no semantics for 0F {op:02x}")

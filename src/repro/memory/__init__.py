@@ -1,0 +1,37 @@
+"""The Wolfe/Chanin decompress-on-miss memory system (Figure 1)."""
+
+from repro.memory.cache import CacheStats, InstructionCache
+from repro.memory.clb import CLB, CLBStats
+from repro.memory.refill import (
+    DECOMPRESS_BITS_PER_CYCLE,
+    RefillEngine,
+    RefillTiming,
+)
+from repro.memory.fetchsim import (
+    CompressedFetchPort,
+    ExecutionResult,
+    run_compressed,
+)
+from repro.memory.system import (
+    CompressedMemorySystem,
+    SimulationResult,
+    simulate,
+)
+from repro.memory.trace import generate_trace
+
+__all__ = [
+    "CLB",
+    "CLBStats",
+    "CacheStats",
+    "CompressedFetchPort",
+    "CompressedMemorySystem",
+    "ExecutionResult",
+    "run_compressed",
+    "DECOMPRESS_BITS_PER_CYCLE",
+    "InstructionCache",
+    "RefillEngine",
+    "RefillTiming",
+    "SimulationResult",
+    "generate_trace",
+    "simulate",
+]

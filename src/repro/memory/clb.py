@@ -1,0 +1,54 @@
+"""CLB — the Cache Line Address Lookaside Buffer.
+
+"Since accessing the LAT will increase the cache refill time a CLB
+(Cache Line Address Lookaside Buffer) can be used which is essentially
+identical to a TLB."  It caches recently used LAT *groups* (one compacted
+LAT entry covers a group of blocks), so most refills resolve the
+compressed address without an extra main-memory access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class CLBStats:
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class CLB:
+    """Fully associative LRU buffer of LAT entries."""
+
+    def __init__(self, entries: int = 16, group_size: int = 8) -> None:
+        if entries < 1:
+            raise ValueError("CLB needs at least one entry")
+        self.entries = entries
+        self.group_size = group_size
+        self._groups: List[int] = []  # LRU order, most recent last
+        self.stats = CLBStats()
+
+    def lookup(self, block_index: int) -> bool:
+        """True when the block's LAT group is buffered (hit)."""
+        group = block_index // self.group_size
+        self.stats.lookups += 1
+        if group in self._groups:
+            self._groups.remove(group)
+            self._groups.append(group)
+            self.stats.hits += 1
+            return True
+        self._groups.append(group)
+        if len(self._groups) > self.entries:
+            self._groups.pop(0)
+        return False
+
+    def flush(self) -> None:
+        self._groups.clear()

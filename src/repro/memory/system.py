@@ -1,0 +1,121 @@
+"""The complete decompress-on-miss memory system (Figure 1).
+
+Ties together the I-cache, the CLB, and the refill engine, and runs an
+instruction-fetch trace through them.  Comparing a compressed system's
+cycle count against an uncompressed one quantifies the paper's central
+architecture trade: memory savings vs. refill-time slowdown, governed by
+the I-cache hit ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.lat import CompressedImage
+from repro.memory.cache import CacheStats, InstructionCache
+from repro.memory.clb import CLB, CLBStats
+from repro.memory.refill import RefillEngine, RefillTiming
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace simulation."""
+
+    algorithm: str
+    cycles: int
+    fetches: int
+    cache: CacheStats
+    clb: Optional[CLBStats]
+
+    @property
+    def cycles_per_fetch(self) -> float:
+        if self.fetches == 0:
+            return 0.0
+        return self.cycles / self.fetches
+
+    def slowdown_vs(self, baseline: "SimulationResult") -> float:
+        """Cycle ratio against another run of the same trace."""
+        if baseline.cycles == 0:
+            return 1.0
+        return self.cycles / baseline.cycles
+
+
+class CompressedMemorySystem:
+    """An I-cache + CLB + refill engine serving one program image.
+
+    Pass ``image=None`` for the uncompressed baseline system (no CLB, no
+    decompressor, full-size refills).
+    """
+
+    def __init__(
+        self,
+        code_size: int,
+        image: Optional[CompressedImage] = None,
+        cache_size: int = 4096,
+        block_size: int = 32,
+        associativity: int = 2,
+        timing: RefillTiming = RefillTiming(),
+        clb_entries: int = 16,
+    ) -> None:
+        if image is not None and image.block_size != block_size:
+            raise ValueError(
+                f"image block size {image.block_size} != cache block {block_size}"
+            )
+        self.code_size = code_size
+        self.image = image
+        self.cache = InstructionCache(cache_size, block_size, associativity)
+        self.block_size = block_size
+        algorithm = image.algorithm if image is not None else "uncompressed"
+        self.engine = RefillEngine(algorithm, timing)
+        self.clb = (
+            CLB(clb_entries, image.compact_lat.group_size)
+            if image is not None
+            else None
+        )
+
+    def _block_sizes(self, block_index: int) -> tuple:
+        """(compressed_bytes, decompressed_bytes) for one block."""
+        if self.image is None:
+            return self.block_size, self.block_size
+        decompressed = min(
+            self.block_size,
+            self.code_size - block_index * self.block_size,
+        )
+        return len(self.image.blocks[block_index]), decompressed
+
+    def run(self, trace: Iterable[int]) -> SimulationResult:
+        """Simulate a fetch trace; each hit costs 1 cycle."""
+        cycles = 0
+        fetches = 0
+        for address in trace:
+            fetches += 1
+            if self.cache.access(address):
+                cycles += 1
+                continue
+            block_index = self.cache.block_index(address)
+            clb_hit = True
+            if self.clb is not None:
+                clb_hit = self.clb.lookup(block_index)
+            compressed, decompressed = self._block_sizes(block_index)
+            cycles += 1 + self.engine.refill_cycles(
+                compressed, decompressed, clb_hit
+            )
+        return SimulationResult(
+            algorithm=self.engine.algorithm,
+            cycles=cycles,
+            fetches=fetches,
+            cache=self.cache.stats,
+            clb=self.clb.stats if self.clb is not None else None,
+        )
+
+
+def simulate(
+    code_size: int,
+    trace: Sequence[int],
+    image: Optional[CompressedImage] = None,
+    **kwargs,
+) -> SimulationResult:
+    """One-call simulation of a trace against an (optional) image."""
+    system = CompressedMemorySystem(code_size, image=image, **kwargs)
+    return system.run(trace)

@@ -1,0 +1,34 @@
+"""Synthetic SPEC95-like workload generation for MIPS and x86."""
+
+from repro.workloads.kernels import KERNELS, Kernel, run_kernel
+from repro.workloads.mips_gen import MipsGenerator
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    SPEC95,
+    BenchmarkProfile,
+    get_profile,
+)
+from repro.workloads.sampling import ZipfSampler, weighted_choice
+from repro.workloads.suite import Program, generate_benchmark, generate_suite
+from repro.workloads.x86_gen import X86Generator
+from repro.workloads.x86_kernels import X86_KERNELS, X86Kernel, run_x86_kernel
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkProfile",
+    "KERNELS",
+    "Kernel",
+    "MipsGenerator",
+    "X86Kernel",
+    "X86_KERNELS",
+    "run_kernel",
+    "run_x86_kernel",
+    "Program",
+    "SPEC95",
+    "X86Generator",
+    "ZipfSampler",
+    "generate_benchmark",
+    "generate_suite",
+    "get_profile",
+    "weighted_choice",
+]

@@ -1,0 +1,234 @@
+"""Hand-written MIPS assembly kernels that really execute.
+
+The synthetic SPEC95 generator produces statistically realistic but
+non-executable code; these kernels are the complement — small, real
+programs (memcpy, dot product, Fibonacci, bubble sort, checksum) used to
+demonstrate and test *execution out of compressed memory*: the machine
+fetches every instruction through the decompressing memory system and
+must produce bit-identical results.
+
+Each kernel is a :class:`Kernel` with source, input setup, and an
+expected-result check, so tests and examples share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.isa.mips.asm import assemble_to_bytes
+from repro.isa.mips.interp import MipsMachine
+
+#: Scratch data area, well above any kernel's code.
+DATA_BASE = 0x4000
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A runnable assembly program with a self-check."""
+
+    name: str
+    source: Tuple[str, ...]
+    setup: Callable[[MipsMachine], None]
+    check: Callable[[MipsMachine], bool]
+
+    def code(self) -> bytes:
+        return assemble_to_bytes(self.source)
+
+
+def _memcpy_setup(machine: MipsMachine) -> None:
+    payload = bytes((i * 37 + 11) & 0xFF for i in range(256))
+    machine.memory[DATA_BASE : DATA_BASE + 256] = payload
+    machine.set_reg(4, DATA_BASE)          # a0 = src
+    machine.set_reg(5, DATA_BASE + 0x400)  # a1 = dst
+    machine.set_reg(6, 256)                # a2 = length
+
+
+def _memcpy_check(machine: MipsMachine) -> bool:
+    src = bytes(machine.memory[DATA_BASE : DATA_BASE + 256])
+    dst = bytes(machine.memory[DATA_BASE + 0x400 : DATA_BASE + 0x400 + 256])
+    return src == dst
+
+
+MEMCPY = Kernel(
+    name="memcpy",
+    source=(
+        "loop:",
+        "    blez $a2, done",
+        "    lb   $t0, 0($a0)",
+        "    sb   $t0, 0($a1)",
+        "    addiu $a0, $a0, 1",
+        "    addiu $a1, $a1, 1",
+        "    addiu $a2, $a2, -1",
+        "    j    loop",
+        "done:",
+        "    syscall",
+    ),
+    setup=_memcpy_setup,
+    check=_memcpy_check,
+)
+
+
+def _dot_setup(machine: MipsMachine) -> None:
+    for index in range(32):
+        machine.write_word(DATA_BASE + 4 * index, index + 1)
+        machine.write_word(DATA_BASE + 0x200 + 4 * index, 2 * index + 1)
+    machine.set_reg(4, DATA_BASE)
+    machine.set_reg(5, DATA_BASE + 0x200)
+    machine.set_reg(6, 32)
+
+
+def _dot_check(machine: MipsMachine) -> bool:
+    expected = sum((i + 1) * (2 * i + 1) for i in range(32))
+    return machine.reg(2) == expected
+
+
+DOT_PRODUCT = Kernel(
+    name="dot_product",
+    source=(
+        "    addiu $v0, $zero, 0",
+        "loop:",
+        "    blez $a2, done",
+        "    lw   $t0, 0($a0)",
+        "    lw   $t1, 0($a1)",
+        "    mult $t0, $t1",
+        "    mflo $t2",
+        "    addu $v0, $v0, $t2",
+        "    addiu $a0, $a0, 4",
+        "    addiu $a1, $a1, 4",
+        "    addiu $a2, $a2, -1",
+        "    j    loop",
+        "done:",
+        "    syscall",
+    ),
+    setup=_dot_setup,
+    check=_dot_check,
+)
+
+
+def _fib_setup(machine: MipsMachine) -> None:
+    machine.set_reg(4, 20)  # a0 = n
+
+
+def _fib_check(machine: MipsMachine) -> bool:
+    return machine.reg(2) == 6765  # fib(20)
+
+
+FIBONACCI = Kernel(
+    name="fibonacci",
+    source=(
+        "    addiu $t0, $zero, 0",    # fib(0)
+        "    addiu $t1, $zero, 1",    # fib(1)
+        "loop:",
+        "    blez $a0, done",
+        "    addu $t2, $t0, $t1",
+        "    or   $t0, $t1, $zero",
+        "    or   $t1, $t2, $zero",
+        "    addiu $a0, $a0, -1",
+        "    j    loop",
+        "done:",
+        "    or   $v0, $t0, $zero",
+        "    syscall",
+    ),
+    setup=_fib_setup,
+    check=_fib_check,
+)
+
+
+def _sort_values() -> List[int]:
+    return [(i * 193 + 7) % 256 for i in range(24)]
+
+
+def _sort_setup(machine: MipsMachine) -> None:
+    for index, value in enumerate(_sort_values()):
+        machine.write_word(DATA_BASE + 4 * index, value)
+    machine.set_reg(4, DATA_BASE)
+    machine.set_reg(5, 24)
+
+
+def _sort_check(machine: MipsMachine) -> bool:
+    got = [machine.read_word(DATA_BASE + 4 * i) for i in range(24)]
+    return got == sorted(_sort_values())
+
+
+BUBBLE_SORT = Kernel(
+    name="bubble_sort",
+    source=(
+        # for (i = n-1; i > 0; i--) for (j = 0; j < i; j++) cmp/swap
+        "    addiu $t0, $a1, -1",     # i = n - 1
+        "outer:",
+        "    blez $t0, done",
+        "    addiu $t1, $zero, 0",    # j = 0
+        "    or   $t4, $a0, $zero",   # p = base
+        "inner:",
+        "    slt  $t5, $t1, $t0",
+        "    beq  $t5, $zero, next",
+        "    lw   $t2, 0($t4)",
+        "    lw   $t3, 4($t4)",
+        "    slt  $t5, $t3, $t2",
+        "    beq  $t5, $zero, noswap",
+        "    sw   $t3, 0($t4)",
+        "    sw   $t2, 4($t4)",
+        "noswap:",
+        "    addiu $t4, $t4, 4",
+        "    addiu $t1, $t1, 1",
+        "    j    inner",
+        "next:",
+        "    addiu $t0, $t0, -1",
+        "    j    outer",
+        "done:",
+        "    syscall",
+    ),
+    setup=_sort_setup,
+    check=_sort_check,
+)
+
+
+def _checksum_setup(machine: MipsMachine) -> None:
+    payload = bytes((i * 61 + 3) & 0xFF for i in range(512))
+    machine.memory[DATA_BASE : DATA_BASE + 512] = payload
+    machine.set_reg(4, DATA_BASE)
+    machine.set_reg(5, 512)
+
+
+def _checksum_check(machine: MipsMachine) -> bool:
+    expected = 0
+    for byte in bytes((i * 61 + 3) & 0xFF for i in range(512)):
+        expected = ((expected << 1) & 0xFFFFFFFF) ^ byte
+    return machine.reg(2) == expected
+
+
+CHECKSUM = Kernel(
+    name="checksum",
+    source=(
+        "    addiu $v0, $zero, 0",
+        "loop:",
+        "    blez $a1, done",
+        "    lbu  $t0, 0($a0)",
+        "    sll  $v0, $v0, 1",
+        "    xor  $v0, $v0, $t0",
+        "    addiu $a0, $a0, 1",
+        "    addiu $a1, $a1, -1",
+        "    j    loop",
+        "done:",
+        "    syscall",
+    ),
+    setup=_checksum_setup,
+    check=_checksum_check,
+)
+
+
+#: All kernels, for parametrised tests and the example.
+KERNELS: Tuple[Kernel, ...] = (
+    MEMCPY, DOT_PRODUCT, FIBONACCI, BUBBLE_SORT, CHECKSUM,
+)
+
+
+def run_kernel(kernel: Kernel, machine: MipsMachine = None) -> MipsMachine:
+    """Assemble, load, set up, and run a kernel to completion."""
+    if machine is None:
+        machine = MipsMachine()
+    machine.load_code(kernel.code())
+    kernel.setup(machine)
+    machine.run()
+    return machine

@@ -1,0 +1,281 @@
+"""Synthetic MIPS code generator.
+
+Emits machine code with the statistical fingerprint of compiled SPEC95
+programs: function prologue/epilogue idioms, basic blocks drawn from a
+per-program *motif pool* (compilers emit the same short sequences over
+and over — the redundancy SADC's dictionary harvests), Zipf-skewed
+register usage, and small, highly non-uniform immediates (the low-entropy
+fields SAMC's Markov streams exploit).
+
+Generation is fully deterministic given (profile, seed, scale).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from repro.isa.mips.formats import BY_MNEMONIC, Instruction
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.sampling import ZipfSampler, weighted_choice
+
+#: GPRs in rough descending order of use in compiled code.
+_REGISTER_PREFERENCE = (
+    29,  # sp
+    2,   # v0
+    4,   # a0
+    8,   # t0
+    16,  # s0
+    5,   # a1
+    3,   # v1
+    9,   # t1
+    17,  # s1
+    6,   # a2
+    10,  # t2
+    31,  # ra
+    18,  # s2
+    7,   # a3
+    11,  # t3
+    0,   # zero
+    19, 12, 20, 13, 21, 14, 22, 15, 23, 24, 25, 30, 28, 1, 26, 27,
+)
+
+#: Even FP registers (doubles), most used first.
+_FPR_PREFERENCE = (0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+
+def _instruction(mnemonic: str, **fields) -> Instruction:
+    return Instruction(BY_MNEMONIC[mnemonic], **fields)
+
+
+class MipsGenerator:
+    """Generates one benchmark's MIPS code image."""
+
+    def __init__(
+        self, profile: BenchmarkProfile, seed: int = 0, scale: float = 1.0
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.profile = profile
+        self.target = max(64, int(profile.instructions * scale))
+        # zlib.crc32, not hash(): str hashing is randomised per process,
+        # and generation must be reproducible across runs.
+        import zlib
+
+        name_seed = zlib.crc32(profile.name.encode()) & 0xFFFF
+        self._rng = random.Random(name_seed ^ seed)
+        self._registers = ZipfSampler(_REGISTER_PREFERENCE, profile.register_skew)
+        self._fprs = ZipfSampler(_FPR_PREFERENCE, profile.register_skew)
+        #: A handful of code pages: lui values cluster heavily.
+        self._pages = [0x1000 + 8 * i for i in range(4)]
+        #: Call-target pool: function entry word addresses.
+        self._call_targets = [
+            (0x0040_0000 >> 2) + 64 * i for i in range(max(8, self.target // 96))
+        ]
+        self._motifs: List[List[Instruction]] = []
+
+    # -- operand sampling -------------------------------------------------
+
+    def _reg(self) -> int:
+        return self._registers.sample(self._rng)
+
+    def _fpr(self) -> int:
+        return self._fprs.sample(self._rng)
+
+    def _mem_offset(self) -> int:
+        """Load/store offsets: small multiples of 4, occasionally negative."""
+        rng = self._rng
+        kind = weighted_choice(rng, [(6, "small"), (2, "medium"), (1, "neg")])
+        if kind == "small":
+            return 4 * rng.randrange(0, 16)
+        if kind == "medium":
+            return 4 * rng.randrange(16, 64)
+        return (-4 * rng.randrange(1, 9)) & 0xFFFF
+
+    def _alu_imm(self) -> int:
+        rng = self._rng
+        kind = weighted_choice(rng, [(4, "tiny"), (3, "pow"), (2, "byte"), (1, "wide")])
+        if kind == "tiny":
+            return rng.choice([0, 1, 2, 3, 4, 8])
+        if kind == "pow":
+            return 1 << rng.randrange(0, 12)
+        if kind == "byte":
+            return rng.randrange(0, 256)
+        return rng.randrange(0, 1 << 16)
+
+    def _branch_offset(self) -> int:
+        magnitude = self._rng.randrange(1, 48)
+        if self._rng.random() < 0.55:  # backward branches dominate (loops)
+            return (-magnitude) & 0xFFFF
+        return magnitude
+
+    # -- instruction kinds -------------------------------------------------
+
+    def _gen_load(self) -> Instruction:
+        op = weighted_choice(self._rng, [(7, "lw"), (1, "lb"), (1, "lbu"), (1, "lhu")])
+        return _instruction(op, rt=self._reg(), rs=self._reg(), imm=self._mem_offset())
+
+    def _gen_store(self) -> Instruction:
+        op = weighted_choice(self._rng, [(7, "sw"), (1, "sb"), (1, "sh")])
+        return _instruction(op, rt=self._reg(), rs=self._reg(), imm=self._mem_offset())
+
+    def _gen_alu_reg(self) -> Instruction:
+        op = weighted_choice(
+            self._rng,
+            [(6, "addu"), (2, "subu"), (2, "or"), (1, "and"), (1, "xor"),
+             (2, "slt"), (1, "sltu")],
+        )
+        return _instruction(op, rd=self._reg(), rs=self._reg(), rt=self._reg())
+
+    def _gen_alu_imm(self) -> Instruction:
+        op = weighted_choice(
+            self._rng,
+            [(6, "addiu"), (2, "andi"), (2, "ori"), (1, "slti"), (1, "xori")],
+        )
+        return _instruction(op, rt=self._reg(), rs=self._reg(), imm=self._alu_imm())
+
+    def _gen_shift(self) -> Instruction:
+        op = weighted_choice(self._rng, [(3, "sll"), (2, "srl"), (1, "sra")])
+        shamt = self._rng.choice([1, 2, 2, 3, 4, 8])
+        return _instruction(op, rd=self._reg(), rt=self._reg(), shamt=shamt)
+
+    def _gen_branch(self) -> Instruction:
+        op = weighted_choice(
+            self._rng, [(4, "bne"), (4, "beq"), (1, "blez"), (1, "bgtz")]
+        )
+        if op in ("blez", "bgtz"):
+            return _instruction(op, rs=self._reg(), imm=self._branch_offset())
+        return _instruction(
+            op, rs=self._reg(), rt=self._reg(), imm=self._branch_offset()
+        )
+
+    def _gen_lui_pair(self) -> List[Instruction]:
+        reg = self._reg()
+        page = self._rng.choice(self._pages)
+        return [
+            _instruction("lui", rt=reg, imm=page),
+            _instruction("addiu", rt=reg, rs=reg, imm=4 * self._rng.randrange(0, 64)),
+        ]
+
+    def _gen_call(self) -> Instruction:
+        return _instruction("jal", target=self._rng.choice(self._call_targets))
+
+    def _gen_fp(self) -> Instruction:
+        kind = weighted_choice(
+            self._rng,
+            [(3, "ldc1"), (2, "sdc1"), (3, "arith"), (1, "lwc1"), (1, "swc1")],
+        )
+        if kind in ("ldc1", "sdc1", "lwc1", "swc1"):
+            return _instruction(
+                kind, rt=self._fpr(), rs=self._reg(), imm=8 * self._rng.randrange(0, 32)
+            )
+        op = weighted_choice(
+            self._rng, [(3, "add.d"), (3, "mul.d"), (1, "sub.d"), (1, "div.d")]
+        )
+        return _instruction(op, shamt=self._fpr(), rd=self._fpr(), rt=self._fpr())
+
+    # -- block / function structure ----------------------------------------
+
+    def _fresh_block(self) -> List[Instruction]:
+        """Generate a new basic block from the profile's instruction mix."""
+        rng = self._rng
+        length = rng.randrange(3, 10)
+        block: List[Instruction] = []
+        fp = self.profile.fp_fraction
+        table = [
+            (0.22 * (1 - fp), self._gen_load),
+            (0.12 * (1 - fp), self._gen_store),
+            (0.20 * (1 - fp), self._gen_alu_reg),
+            (0.20 * (1 - fp), self._gen_alu_imm),
+            (0.05, self._gen_shift),
+            (fp, self._gen_fp),
+        ]
+        while len(block) < length:
+            if rng.random() < 0.05:
+                block.extend(self._gen_lui_pair())
+                continue
+            generator: Callable[[], Instruction] = weighted_choice(rng, table)
+            block.append(generator())
+        # Basic blocks usually end in a branch or call.
+        terminator = weighted_choice(
+            rng, [(5, "branch"), (2, "call"), (3, "none")]
+        )
+        if terminator == "branch":
+            block.append(self._gen_branch())
+        elif terminator == "call":
+            block.append(self._gen_call())
+        return block
+
+    def _next_block(self) -> List[Instruction]:
+        """Reuse a pooled motif or mint a fresh block (and pool it)."""
+        rng = self._rng
+        if self._motifs and rng.random() < self.profile.motif_reuse:
+            motif = rng.choice(self._motifs)
+            if rng.random() < 0.65 and motif:
+                # Compilers re-emit idioms with different temporaries and
+                # offsets far more often than byte-for-byte: perturb one
+                # or two instructions so the *opcode sequence* repeats
+                # (what SADC's dictionary harvests) while raw bytes
+                # diverge (curbing unrealistic long LZ matches).
+                clone = list(motif)
+                for _ in range(rng.randrange(1, 3)):
+                    index = rng.randrange(len(clone))
+                    clone[index] = self._perturb(clone[index])
+                return clone
+            return list(motif)
+        block = self._fresh_block()
+        if len(self._motifs) < self.profile.motif_pool:
+            self._motifs.append(block)
+        else:
+            self._motifs[rng.randrange(len(self._motifs))] = block
+        return block
+
+    def _perturb(self, old: Instruction) -> Instruction:
+        """Vary one instruction's register or immediate, staying canonical."""
+        rng = self._rng
+        fields = {
+            "rs": old.rs, "rt": old.rt, "rd": old.rd,
+            "shamt": old.shamt, "imm": old.imm, "target": old.target,
+        }
+        mutable = [f for f in ("rt", "rd", "rs") if f in old.spec.operands]
+        if "imm" in old.spec.operands and rng.random() < 0.5:
+            delta = rng.choice((-8, -4, 4, 8))
+            fields["imm"] = (old.imm + delta) & 0xFFFF
+        elif mutable:
+            fields[rng.choice(mutable)] = self._reg()
+        return Instruction(old.spec, **fields)
+
+    def _function(self) -> List[Instruction]:
+        """One function: prologue, blocks, epilogue."""
+        rng = self._rng
+        frame = 8 * rng.randrange(2, 8)
+        saved = rng.randrange(0, 3)
+        body: List[Instruction] = [
+            _instruction("addiu", rt=29, rs=29, imm=(-frame) & 0xFFFF),
+            _instruction("sw", rt=31, rs=29, imm=frame - 4),
+        ]
+        for i in range(saved):
+            body.append(_instruction("sw", rt=16 + i, rs=29, imm=frame - 8 - 4 * i))
+        blocks = rng.randrange(2, 9)
+        for _ in range(blocks):
+            body.extend(self._next_block())
+        for i in range(saved):
+            body.append(_instruction("lw", rt=16 + i, rs=29, imm=frame - 8 - 4 * i))
+        body.append(_instruction("lw", rt=31, rs=29, imm=frame - 4))
+        body.append(_instruction("addiu", rt=29, rs=29, imm=frame))
+        body.append(_instruction("jr", rs=31))
+        return body
+
+    def generate_instructions(self) -> List[Instruction]:
+        """Generate at least ``target`` instructions of whole functions."""
+        out: List[Instruction] = []
+        while len(out) < self.target:
+            out.extend(self._function())
+        return out
+
+    def generate(self) -> bytes:
+        """Generate the benchmark's big-endian code image."""
+        code = bytearray()
+        for instruction in self.generate_instructions():
+            code.extend(instruction.encode().to_bytes(4, "big"))
+        return bytes(code)

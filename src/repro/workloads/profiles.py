@@ -1,0 +1,98 @@
+"""SPEC95 benchmark profiles for the synthetic workload generator.
+
+The paper evaluates on 18 SPEC95 benchmarks compiled for MIPS and
+Pentium Pro.  We cannot ship those binaries, so each benchmark gets a
+*profile* capturing the statistics that drive code compressibility:
+
+* size (instruction count) — ``compress`` and ``tomcatv`` are small,
+  ``gcc`` and ``vortex`` are large (the paper notes gzip's advantage
+  shrinks on small programs such as ``compress``);
+* integer vs floating-point mix — FP benchmarks use the COP1 subset and
+  longer, more regular inner loops;
+* *motif reuse* — how often the generated code repeats idiomatic
+  instruction sequences, modelling how repetitive compiler output is
+  (higher for regular FP loop nests, lower for branchy integer code);
+* register skew — how concentrated register usage is.
+
+Sizes are scaled-down (thousands of instructions, not hundreds of
+thousands) so the full suite runs in seconds; compression *ratios* are
+driven by the stream statistics, not absolute size, so the paper's
+relative ordering is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Statistical fingerprint of one SPEC95 benchmark."""
+
+    name: str
+    category: str  # "int" or "fp"
+    #: Baseline instruction count at scale=1.0.
+    instructions: int
+    #: Probability a new basic block reuses a pooled motif (0..1).
+    motif_reuse: float
+    #: Number of distinct motifs in the pool; fewer = more repetitive.
+    motif_pool: int
+    #: Zipf-like exponent for register selection; higher = more skewed.
+    register_skew: float
+    #: Fraction of instructions that are FP operations (fp benchmarks).
+    fp_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.category not in ("int", "fp"):
+            raise ValueError(f"bad category {self.category!r}")
+        if not 0.0 <= self.motif_reuse <= 1.0:
+            raise ValueError("motif_reuse must be in [0, 1]")
+
+
+def _int(name: str, instructions: int, reuse: float, pool: int,
+         skew: float = 1.2) -> BenchmarkProfile:
+    return BenchmarkProfile(name, "int", instructions, reuse, pool, skew, 0.0)
+
+
+def _fp(name: str, instructions: int, reuse: float, pool: int,
+        skew: float = 1.4, fp_fraction: float = 0.35) -> BenchmarkProfile:
+    return BenchmarkProfile(name, "fp", instructions, reuse, pool, skew, fp_fraction)
+
+
+#: The 18 SPEC95 benchmarks of Figures 7 and 8, in the paper's order.
+SPEC95: Tuple[BenchmarkProfile, ...] = (
+    _fp("applu", 5200, 0.72, 40),
+    _fp("apsi", 5800, 0.66, 55),
+    _int("compress", 1100, 0.58, 35),
+    _fp("fpppp", 7400, 0.62, 70, fp_fraction=0.45),
+    _int("gcc", 9000, 0.55, 110),
+    _int("go", 6200, 0.52, 95),
+    _fp("hydro2d", 4800, 0.70, 45),
+    _int("ijpeg", 4400, 0.60, 70),
+    _int("m88ksim", 4000, 0.62, 60),
+    _fp("mgrid", 3200, 0.76, 30),
+    _int("perl", 6800, 0.56, 90),
+    _fp("su2cor", 4600, 0.68, 50),
+    _fp("swim", 2400, 0.78, 25),
+    _fp("tomcatv", 1400, 0.80, 20),
+    _fp("turb3d", 4200, 0.66, 55),
+    _int("vortex", 8600, 0.58, 100),
+    _fp("wave5", 5000, 0.67, 52),
+    _int("xlisp", 3000, 0.64, 50),
+)
+
+#: Profiles by name.
+BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in SPEC95}
+
+#: The benchmark names in figure order.
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(p.name for p in SPEC95)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a SPEC95 profile by benchmark name."""
+    if name not in BY_NAME:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+    return BY_NAME[name]

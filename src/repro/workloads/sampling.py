@@ -1,0 +1,48 @@
+"""Shared sampling utilities for the workload generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Samples items with Zipf-like weights: p(rank r) ∝ 1/(r+1)**skew.
+
+    Compiler output concentrates on a few registers (stack pointer,
+    return address, first temporaries) and a few opcodes; a Zipf rank
+    distribution over a preference-ordered list reproduces that skew.
+    """
+
+    def __init__(self, items: Sequence[T], skew: float) -> None:
+        if not items:
+            raise ValueError("need at least one item")
+        self._items: List[T] = list(items)
+        weights = [1.0 / (rank + 1) ** skew for rank in range(len(items))]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+
+    def sample(self, rng: random.Random) -> T:
+        point = rng.random()
+        for item, cum in zip(self._items, self._cumulative):
+            if point <= cum:
+                return item
+        return self._items[-1]
+
+
+def weighted_choice(rng: random.Random, table: Sequence) -> object:
+    """Choose from ``[(weight, item), ...]`` pairs."""
+    total = sum(weight for weight, _item in table)
+    point = rng.random() * total
+    acc = 0.0
+    for weight, item in table:
+        acc += weight
+        if point <= acc:
+            return item
+    return table[-1][1]

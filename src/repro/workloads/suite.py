@@ -1,0 +1,54 @@
+"""The benchmark suite front end.
+
+``generate_benchmark("gcc", "mips")`` deterministically produces the
+synthetic stand-in for that SPEC95 binary; ``generate_suite`` yields all
+eighteen, in the order of the paper's Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.workloads.mips_gen import MipsGenerator
+from repro.workloads.profiles import BENCHMARK_NAMES, BenchmarkProfile, get_profile
+from repro.workloads.x86_gen import X86Generator
+
+
+@dataclass(frozen=True)
+class Program:
+    """One generated benchmark binary."""
+
+    name: str
+    isa: str
+    code: bytes
+    profile: BenchmarkProfile
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.code)
+
+
+def generate_benchmark(
+    name: str, isa: str = "mips", scale: float = 1.0, seed: int = 0
+) -> Program:
+    """Generate one benchmark for the given ISA, deterministically."""
+    profile = get_profile(name)
+    if isa == "mips":
+        code = MipsGenerator(profile, seed=seed, scale=scale).generate()
+    elif isa == "x86":
+        code = X86Generator(profile, seed=seed, scale=scale).generate()
+    else:
+        raise ValueError(f"unknown ISA {isa!r} (expected 'mips' or 'x86')")
+    return Program(name=name, isa=isa, code=code, profile=profile)
+
+
+def generate_suite(
+    isa: str = "mips",
+    scale: float = 1.0,
+    seed: int = 0,
+    names: Optional[Sequence[str]] = None,
+) -> Iterator[Program]:
+    """Generate the full SPEC95 suite (or a named subset), figure order."""
+    for name in names or BENCHMARK_NAMES:
+        yield generate_benchmark(name, isa, scale=scale, seed=seed)

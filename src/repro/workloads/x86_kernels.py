@@ -1,0 +1,271 @@
+"""Executable x86 kernels and a tiny structural assembler with labels.
+
+The x86 counterpart of :mod:`repro.workloads.kernels`: real programs
+built from :class:`~repro.isa.x86.formats.X86Instruction` objects, with
+a two-pass label resolver for the relative branches (x86 instructions
+are variable-length, so offsets depend on every instruction's size).
+Used to validate execution through byte-oriented compressed memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Union
+
+from repro.isa.x86.formats import X86Instruction
+from repro.isa.x86.interp import X86Machine
+
+DATA_BASE = 0x4000
+
+#: Condition-code mnemonic suffixes for Jcc.
+CC = {"e": 4, "ne": 5, "l": 12, "ge": 13, "le": 14, "g": 15,
+      "b": 2, "ae": 3, "be": 6, "a": 7}
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+
+@dataclass(frozen=True)
+class JccTo:
+    """A pending conditional branch to a label (rel8)."""
+
+    cc: int
+    target: str
+
+
+@dataclass(frozen=True)
+class JmpTo:
+    """A pending unconditional jump to a label (rel8)."""
+
+    target: str
+
+
+Item = Union[X86Instruction, Label, JccTo, JmpTo]
+
+
+def _modrm(mod: int, reg: int, rm: int) -> int:
+    return (mod << 6) | (reg << 3) | rm
+
+
+def mov_ri(reg: int, value: int) -> X86Instruction:
+    """mov r32, imm32"""
+    return X86Instruction(opcode=bytes([0xB8 + reg]),
+                          imm=struct.pack("<i", value))
+
+
+def mov_rr(dst: int, src: int) -> X86Instruction:
+    """mov dst, src (89 /r with mod=11: r/m=dst, reg=src)"""
+    return X86Instruction(opcode=b"\x89", modrm=_modrm(3, src, dst))
+
+
+def mov_r_mem(dst: int, base: int) -> X86Instruction:
+    """mov dst, [base]"""
+    return X86Instruction(opcode=b"\x8b", modrm=_modrm(0, dst, base))
+
+
+def mov_mem_r(base: int, src: int) -> X86Instruction:
+    """mov [base], src"""
+    return X86Instruction(opcode=b"\x89", modrm=_modrm(0, src, base))
+
+
+def mov_r_mem8(dst: int, base: int) -> X86Instruction:
+    """mov dst8, [base] (byte load)"""
+    return X86Instruction(opcode=b"\x8a", modrm=_modrm(0, dst, base))
+
+
+def mov_mem8_r(base: int, src: int) -> X86Instruction:
+    """mov [base], src8 (byte store)"""
+    return X86Instruction(opcode=b"\x88", modrm=_modrm(0, src, base))
+
+
+def alu_rr(opcode: int, dst: int, src: int) -> X86Instruction:
+    """ALU op r/m32(dst), r32(src): 01 add, 29 sub, 31 xor, 39 cmp, …"""
+    return X86Instruction(opcode=bytes([opcode]), modrm=_modrm(3, src, dst))
+
+
+def alu_ri8(group: int, reg: int, imm: int) -> X86Instruction:
+    """grp1 r/m32, imm8: /0 add, /5 sub, /7 cmp"""
+    return X86Instruction(opcode=b"\x83", modrm=_modrm(3, group, reg),
+                          imm=struct.pack("<b", imm))
+
+
+def inc(reg: int) -> X86Instruction:
+    return X86Instruction(opcode=bytes([0x40 + reg]))
+
+
+def dec(reg: int) -> X86Instruction:
+    return X86Instruction(opcode=bytes([0x48 + reg]))
+
+
+def ret() -> X86Instruction:
+    return X86Instruction(opcode=b"\xc3")
+
+
+def assemble(items: List[Item]) -> bytes:
+    """Two-pass assembly: place instructions, then patch rel8 branches."""
+    placeholder = {
+        JccTo: lambda item: X86Instruction(
+            opcode=bytes([0x70 + item.cc]), imm=b"\x00"
+        ),
+        JmpTo: lambda item: X86Instruction(opcode=b"\xeb", imm=b"\x00"),
+    }
+    # Pass 1: offsets of every item (labels resolve to the next offset).
+    offsets: Dict[str, int] = {}
+    position = 0
+    encodings: List[Tuple[Item, int]] = []
+    for item in items:
+        if isinstance(item, Label):
+            if item.name in offsets:
+                raise ValueError(f"duplicate label {item.name!r}")
+            offsets[item.name] = position
+            continue
+        length = (
+            placeholder[type(item)](item).length
+            if type(item) in placeholder
+            else item.length
+        )
+        encodings.append((item, position))
+        position += length
+
+    # Pass 2: patch branch displacements.
+    out = bytearray()
+    for item, start in encodings:
+        if isinstance(item, (JccTo, JmpTo)):
+            instruction = placeholder[type(item)](item)
+            next_eip = start + instruction.length
+            rel = offsets[item.target] - next_eip
+            if not -128 <= rel <= 127:
+                raise ValueError(f"branch to {item.target!r} out of rel8 range")
+            instruction = X86Instruction(
+                opcode=instruction.opcode, imm=struct.pack("<b", rel)
+            )
+            out.extend(instruction.encode())
+        else:
+            out.extend(item.encode())
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class X86Kernel:
+    """A runnable x86 program with setup and self-check."""
+
+    name: str
+    items: Tuple[Item, ...]
+    setup: Callable[[X86Machine], None]
+    check: Callable[[X86Machine], bool]
+
+    def code(self) -> bytes:
+        return assemble(list(self.items))
+
+
+from repro.isa.x86.interp import EAX, EBX, ECX, EDX, EDI, ESI  # noqa: E402
+
+
+def _sum_setup(machine: X86Machine) -> None:
+    for index in range(48):
+        machine.write32(DATA_BASE + 4 * index, 3 * index + 2)
+    machine.regs[ESI] = DATA_BASE
+    machine.regs[ECX] = 48
+
+
+def _sum_check(machine: X86Machine) -> bool:
+    return machine.regs[EAX] == sum(3 * i + 2 for i in range(48))
+
+
+SUM_ARRAY = X86Kernel(
+    name="sum_array",
+    items=(
+        mov_ri(EAX, 0),
+        Label("loop"),
+        alu_ri8(7, ECX, 0),            # cmp ecx, 0
+        JccTo(CC["le"], "done"),
+        mov_r_mem(EDX, ESI),           # edx = [esi]
+        alu_rr(0x01, EAX, EDX),        # eax += edx
+        alu_ri8(0, ESI, 4),            # esi += 4
+        dec(ECX),
+        JmpTo("loop"),
+        Label("done"),
+        ret(),
+    ),
+    setup=_sum_setup,
+    check=_sum_check,
+)
+
+
+def _memcpy_setup(machine: X86Machine) -> None:
+    payload = bytes((i * 73 + 5) & 0xFF for i in range(128))
+    machine.memory[DATA_BASE : DATA_BASE + 128] = payload
+    machine.regs[ESI] = DATA_BASE
+    machine.regs[EDI] = DATA_BASE + 0x400
+    machine.regs[ECX] = 128
+
+
+def _memcpy_check(machine: X86Machine) -> bool:
+    return (machine.memory[DATA_BASE : DATA_BASE + 128]
+            == machine.memory[DATA_BASE + 0x400 : DATA_BASE + 0x400 + 128])
+
+
+MEMCPY_X86 = X86Kernel(
+    name="memcpy",
+    items=(
+        Label("loop"),
+        alu_ri8(7, ECX, 0),            # cmp ecx, 0
+        JccTo(CC["le"], "done"),
+        mov_r_mem8(EAX, ESI),          # al = [esi]
+        mov_mem8_r(EDI, EAX),          # [edi] = al
+        inc(ESI),
+        inc(EDI),
+        dec(ECX),
+        JmpTo("loop"),
+        Label("done"),
+        ret(),
+    ),
+    setup=_memcpy_setup,
+    check=_memcpy_check,
+)
+
+
+def _fib_setup(machine: X86Machine) -> None:
+    machine.regs[ECX] = 20
+
+
+def _fib_check(machine: X86Machine) -> bool:
+    return machine.regs[EAX] == 6765
+
+
+FIBONACCI_X86 = X86Kernel(
+    name="fibonacci",
+    items=(
+        mov_ri(EAX, 0),
+        mov_ri(EBX, 1),
+        Label("loop"),
+        alu_ri8(7, ECX, 0),
+        JccTo(CC["le"], "done"),
+        mov_rr(EDX, EAX),              # edx = a
+        alu_rr(0x01, EDX, EBX),        # edx = a + b
+        mov_rr(EAX, EBX),              # a = b
+        mov_rr(EBX, EDX),              # b = a + b
+        dec(ECX),
+        JmpTo("loop"),
+        Label("done"),
+        ret(),
+    ),
+    setup=_fib_setup,
+    check=_fib_check,
+)
+
+
+X86_KERNELS: Tuple[X86Kernel, ...] = (SUM_ARRAY, MEMCPY_X86, FIBONACCI_X86)
+
+
+def run_x86_kernel(kernel: X86Kernel, machine: X86Machine = None) -> X86Machine:
+    """Assemble, load, set up, and run a kernel to completion."""
+    if machine is None:
+        machine = X86Machine()
+    machine.load_code(kernel.code())
+    kernel.setup(machine)
+    machine.run()
+    return machine

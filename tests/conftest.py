@@ -1,0 +1,31 @@
+"""Shared fixtures: small deterministic programs, reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.suite import generate_benchmark
+
+
+@pytest.fixture(scope="session")
+def mips_program() -> bytes:
+    """A small synthetic MIPS binary (~350 instructions)."""
+    return generate_benchmark("compress", "mips", scale=0.3, seed=7).code
+
+
+@pytest.fixture(scope="session")
+def mips_program_large() -> bytes:
+    """A mid-size MIPS binary for statistics-sensitive tests."""
+    return generate_benchmark("gcc", "mips", scale=0.5, seed=7).code
+
+
+@pytest.fixture(scope="session")
+def x86_program() -> bytes:
+    """A small synthetic x86 binary."""
+    return generate_benchmark("compress", "x86", scale=0.3, seed=7).code
+
+
+@pytest.fixture(scope="session")
+def x86_program_large() -> bytes:
+    """A mid-size x86 binary."""
+    return generate_benchmark("gcc", "x86", scale=0.5, seed=7).code

@@ -1,0 +1,82 @@
+"""Unit and property tests for bit-field gather/scatter helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitstream.fields import (
+    bits_to_word,
+    chunk_words,
+    deposit_bits,
+    extract_bits,
+    sign_extend,
+    word_to_bits,
+    words_to_bytes,
+)
+
+
+class TestExtractDeposit:
+    def test_extract_contiguous_opcode_field(self):
+        # Top 6 bits of a MIPS word are positions 0..5.
+        word = 0x23BD0010  # addiu-ish: op=0x08|..
+        assert extract_bits(word, range(0, 6), 32) == word >> 26
+
+    def test_extract_non_adjacent(self):
+        word = 0b10000001
+        assert extract_bits(word, (0, 7), 8) == 0b11
+
+    def test_deposit_inverts_extract(self):
+        positions = (3, 0, 7, 5)
+        value = 0b1011
+        word = deposit_bits(value, positions, 8)
+        assert extract_bits(word, positions, 8) == value
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ValueError):
+            extract_bits(0, [8], 8)
+        with pytest.raises(ValueError):
+            deposit_bits(0, [8], 8)
+
+
+@given(st.integers(0, 2**32 - 1), st.permutations(list(range(32))))
+def test_extract_deposit_roundtrip_full_word(word, order):
+    value = extract_bits(word, order, 32)
+    assert deposit_bits(value, order, 32) == word
+
+
+@given(st.integers(0, 2**16 - 1))
+def test_word_bits_roundtrip(word):
+    assert bits_to_word(word_to_bits(word, 16)) == word
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [(0x7FFF, 16, 32767), (0x8000, 16, -32768), (0xFFFF, 16, -1),
+         (0, 16, 0), (0xFF, 8, -1), (0x7F, 8, 127)],
+    )
+    def test_values(self, value, width, expected):
+        assert sign_extend(value, width) == expected
+
+    def test_masks_extra_bits(self):
+        assert sign_extend(0x1_0001, 16) == 1
+
+
+class TestChunkWords:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        words = chunk_words(data, 4)
+        assert words[0] == 0x00010203
+        assert words_to_bytes(words, 4) == data
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_words(b"\x00" * 5, 4)
+
+    def test_empty(self):
+        assert chunk_words(b"", 4) == []
+
+
+@given(st.binary(max_size=64).filter(lambda b: len(b) % 4 == 0))
+def test_chunk_words_roundtrip_property(data):
+    assert words_to_bytes(chunk_words(data, 4), 4) == data

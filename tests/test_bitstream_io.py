@@ -1,0 +1,133 @@
+"""Unit and property tests for MSB-first bit I/O."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitstream.io import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits_pack_msb_first(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 0, 0, 0, 0, 0):
+            writer.write_bit(bit)
+        assert writer.getvalue() == b"\xa0"
+
+    def test_partial_byte_zero_padded(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == b"\xa0"
+
+    def test_write_bits_width_zero(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.getvalue() == b""
+        assert len(writer) == 0
+
+    def test_len_counts_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0x1F, 5)
+        assert len(writer) == 5
+        writer.write_bytes(b"ab")
+        assert len(writer) == 21
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(8, 3)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_write_bytes_aligned_fast_path(self):
+        writer = BitWriter()
+        writer.write_bytes(b"\x12\x34")
+        assert writer.getvalue() == b"\x12\x34"
+
+    def test_write_bytes_unaligned(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bytes(b"\x00")
+        assert writer.getvalue() == b"\x80\x00"
+
+    def test_align_to_byte(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.align_to_byte(fill=1)
+        assert writer.getvalue() == b"\xff"
+        assert len(writer) == 8
+
+
+class TestBitReader:
+    def test_reads_msb_first(self):
+        reader = BitReader(b"\xa0")
+        assert [reader.read_bit() for _ in range(3)] == [1, 0, 1]
+
+    def test_read_bits_value(self):
+        reader = BitReader(b"\x12\x34")
+        assert reader.read_bits(16) == 0x1234
+
+    def test_eof_raises_without_padding(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_padding_returns_zeros(self):
+        reader = BitReader(b"\xff", pad=True)
+        reader.read_bits(8)
+        assert reader.read_bits(16) == 0
+
+    def test_seek_bit_enables_random_access(self):
+        reader = BitReader(b"\x0f")
+        reader.seek_bit(4)
+        assert reader.read_bits(4) == 0xF
+
+    def test_seek_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"").seek_bit(-1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read_bits(3)
+        assert reader.bits_remaining == 13
+
+    def test_read_bytes(self):
+        assert BitReader(b"abc").read_bytes(2) == b"ab"
+
+
+@given(st.lists(st.integers(0, 1), max_size=200))
+def test_bit_roundtrip(bits):
+    writer = BitWriter()
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+
+@given(st.lists(st.tuples(st.integers(1, 32), st.data()), max_size=50))
+def test_field_roundtrip(fields_data):
+    # Draw (width, value) pairs, write them back-to-back, read them back.
+    pairs = []
+    writer = BitWriter()
+    for width, data in fields_data:
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        pairs.append((width, value))
+        writer.write_bits(value, width)
+    reader = BitReader(writer.getvalue())
+    for width, value in pairs:
+        assert reader.read_bits(width) == value
+
+
+@given(st.binary(max_size=64))
+def test_bytes_roundtrip(data):
+    writer = BitWriter()
+    writer.write_bytes(data)
+    assert writer.getvalue() == data
+    assert BitReader(data).read_bytes(len(data)) == data

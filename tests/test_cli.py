@@ -1,0 +1,70 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_ratio_defaults(self):
+        args = build_parser().parse_args(["ratio"])
+        assert args.benchmark == "gcc"
+        assert args.algorithm == "SAMC"
+
+    def test_figure_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig1"])
+
+
+class TestCommands:
+    def test_ratio(self, capsys):
+        assert main(["ratio", "--benchmark", "compress", "--scale", "0.2",
+                     "--algorithm", "huffman"]) == 0
+        out = capsys.readouterr().out
+        assert "compress/mips huffman" in out
+        assert "ratio" in out
+
+    def test_suite_subset(self, capsys):
+        assert main(["suite", "--scale", "0.15", "--algorithms", "huffman",
+                     "--benchmarks", "compress", "tomcatv"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "tomcatv" in out and "average" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--benchmark", "compress", "--scale", "0.3",
+                     "--algorithm", "SAMC", "--fetches", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_compress_decompress_file(self, capsys, tmp_path):
+        source = tmp_path / "firmware.bin"
+        packed = tmp_path / "firmware.rcc"
+        restored = tmp_path / "restored.bin"
+        payload = bytes(range(256)) * 40
+        source.write_bytes(payload)
+        assert main(["compress-file", str(source), str(packed)]) == 0
+        assert main(["decompress-file", str(packed), str(restored)]) == 0
+        assert restored.read_bytes() == payload
+        out = capsys.readouterr().out
+        assert "restored" in out
+
+    def test_figure_fig9_small(self, capsys, monkeypatch):
+        # Shrink the suite so the smoke test stays fast.
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "run_suite",
+            lambda isa, algorithms, **kw: _tiny_suite(isa, algorithms),
+        )
+        assert main(["figure", "fig9"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+
+def _tiny_suite(isa, algorithms):
+    from repro.analysis.experiments import run_suite
+
+    return run_suite(isa, algorithms, scale=0.1, names=("compress",))

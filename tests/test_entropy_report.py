@@ -1,0 +1,60 @@
+"""Tests for the compressibility analysis report."""
+
+import pytest
+
+from repro.analysis.entropy_report import analyze_mips
+from repro.analysis.experiments import compression_ratio
+from repro.core.samc import SamcCodec
+
+
+@pytest.fixture(scope="module")
+def report(mips_program_large):
+    return analyze_mips(mips_program_large)
+
+
+class TestReportStructure:
+    def test_counts(self, report, mips_program_large):
+        assert report.instructions == len(mips_program_large) // 4
+
+    def test_field_entropies_bounded_by_width(self, report):
+        for name, h in report.field_entropy.items():
+            assert 0.0 <= h <= report.field_width[name]
+
+    def test_opcode_entropy_well_below_width(self, report):
+        # Compiled code uses few opcodes heavily: entropy far below 8.
+        assert report.field_entropy["opcodes"] < 6.0
+
+    def test_register_entropy_skewed(self, report):
+        assert report.field_entropy["registers"] < 5.0
+
+    def test_bounds_below_raw_width(self, report):
+        assert report.zero_order_bound < 32.0
+        assert report.markov_bound < 32.0
+
+    def test_summary_flat_mapping(self, report):
+        summary = report.summary()
+        assert "markov ratio bound" in summary
+        assert all(isinstance(v, float) for v in summary.values())
+
+
+class TestBoundsVsAchieved:
+    def test_samc_payload_near_markov_bound(self, report, mips_program_large):
+        # The coder should land close to (and necessarily above) the
+        # model's own entropy, padded by per-block reset overhead.
+        payload = SamcCodec.for_mips().compress(mips_program_large).payload_ratio
+        bound = report.markov_bound / 32.0
+        assert payload >= bound - 0.02
+        assert payload <= bound + 0.15
+
+    def test_markov_bound_beats_zero_order_per_stream(self, report):
+        # First-order modelling of the word cannot be *worse* than
+        # treating each SAMC stream as iid bits; sanity-check magnitude.
+        assert report.markov_bound <= 32.0
+        assert sum(report.samc_stream_bits.values()) == pytest.approx(
+            report.markov_bound
+        )
+
+    def test_total_ratio_above_payload(self, mips_program_large):
+        total = compression_ratio(mips_program_large, "SAMC", "mips")
+        payload = SamcCodec.for_mips().compress(mips_program_large).payload_ratio
+        assert total > payload

@@ -1,0 +1,100 @@
+"""Tests for entropy/correlation statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.entropy.stats import (
+    bit_correlation,
+    bit_matrix,
+    entropy_bits,
+    frequencies,
+    markov_stream_entropy,
+    total_information_bits,
+)
+
+
+class TestEntropy:
+    def test_uniform_binary(self):
+        assert entropy_bits({0: 50, 1: 50}) == pytest.approx(1.0)
+
+    def test_deterministic_is_zero(self):
+        assert entropy_bits({7: 100}) == 0.0
+
+    def test_uniform_n_symbols(self):
+        counts = {i: 10 for i in range(8)}
+        assert entropy_bits(counts) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert entropy_bits({}) == 0.0
+
+    def test_skew_lowers_entropy(self):
+        assert entropy_bits({0: 90, 1: 10}) < entropy_bits({0: 50, 1: 50})
+
+    def test_total_information(self):
+        assert total_information_bits({0: 50, 1: 50}) == pytest.approx(100.0)
+
+
+@given(st.dictionaries(st.integers(0, 255), st.integers(1, 1000),
+                       min_size=1, max_size=16))
+def test_entropy_bounds(counts):
+    h = entropy_bits(counts)
+    assert 0.0 <= h <= math.log2(len(counts)) + 1e-9
+
+
+def test_frequencies():
+    assert frequencies([1, 1, 2]) == {1: 2, 2: 1}
+
+
+class TestBitMatrix:
+    def test_shape_and_values(self):
+        matrix = bit_matrix([0b10, 0b01], 2)
+        assert matrix.shape == (2, 2)
+        assert matrix.tolist() == [[1, 0], [0, 1]]
+
+
+class TestBitCorrelation:
+    def test_identical_bits_fully_correlated(self):
+        # Bits 0 and 1 always equal; bit 2 random-ish.
+        words = [0b110, 0b000, 0b111, 0b001]
+        corr = bit_correlation(words, 3)
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_constant_bits_zero_correlation(self):
+        words = [0b10, 0b11]  # bit 0 constant
+        corr = bit_correlation(words, 2)
+        assert corr[0, 1] == 0.0
+
+    def test_symmetric(self):
+        words = [3, 1, 2, 0, 3, 1]
+        corr = bit_correlation(words, 2)
+        assert np.allclose(corr, corr.T)
+
+    def test_too_few_words(self):
+        assert bit_correlation([1], 2).shape == (2, 2)
+
+
+class TestMarkovStreamEntropy:
+    def test_deterministic_stream(self):
+        words = [0b11, 0b11, 0b11]
+        assert markov_stream_entropy(words, (0, 1), 2) == 0.0
+
+    def test_iid_uniform_stream(self):
+        words = [0b00, 0b01, 0b10, 0b11]
+        assert markov_stream_entropy(words, (0, 1), 2) == pytest.approx(1.0)
+
+    def test_dependent_bits_cheaper_than_independent(self):
+        # Second bit always equals first: H should be ~0.5/bit, versus
+        # 1.0/bit if the bits were independent coin flips.
+        words = [0b00, 0b11] * 16
+        h = markov_stream_entropy(words, (0, 1), 2)
+        assert h == pytest.approx(0.5)
+
+    def test_empty_positions(self):
+        assert markov_stream_entropy([1, 2], (), 8) == 0.0
+
+    def test_no_words(self):
+        assert markov_stream_entropy([], (0,), 8) == 0.0

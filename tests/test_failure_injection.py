@@ -1,0 +1,140 @@
+"""Failure injection: corrupted images must fail safely.
+
+A decompressor in a refill engine must never hang or crash the host on a
+corrupted block — it either raises a clean error or produces (wrong)
+bytes of the expected length.  We flip bits across compressed payloads
+and truncate blocks, and check every outcome is one of those two.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.core.lat import CompressedImage
+from repro.core.sadc import MipsSadcCodec
+from repro.core.samc import SamcCodec
+
+ACCEPTABLE = (ValueError, KeyError, EOFError, IndexError)
+
+
+def _flip_bit(block: bytes, bit_index: int) -> bytes:
+    data = bytearray(block)
+    data[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(data)
+
+
+def _corrupt(image: CompressedImage, block_index: int, bit_index: int):
+    blocks = list(image.blocks)
+    blocks[block_index] = _flip_bit(blocks[block_index], bit_index)
+    return CompressedImage(
+        algorithm=image.algorithm,
+        original_size=image.original_size,
+        block_size=image.block_size,
+        blocks=blocks,
+        model_bytes=image.model_bytes,
+        metadata=image.metadata,
+    )
+
+
+class TestBitFlips:
+    def _assault(self, codec, image, original, n_trials=60):
+        rng = random.Random(99)
+        wrong_output = 0
+        clean_errors = 0
+        for _ in range(n_trials):
+            block_index = rng.randrange(image.block_count())
+            block = image.blocks[block_index]
+            if not block:
+                continue
+            bit = rng.randrange(8 * len(block))
+            corrupted = _corrupt(image, block_index, bit)
+            try:
+                out = codec.decompress_block(corrupted, block_index)
+            except ACCEPTABLE:
+                clean_errors += 1
+                continue
+            want = original[
+                block_index * image.block_size :
+                block_index * image.block_size + image.block_size
+            ]
+            assert len(out) == len(want), "corruption changed block length"
+            if out != want:
+                wrong_output += 1
+        # Most flips must be *observable* (error or wrong bytes) — a
+        # decoder that silently shrugs them all off is not decoding.
+        assert wrong_output + clean_errors > n_trials // 2
+
+    def test_samc(self, mips_program):
+        codec = SamcCodec.for_mips()
+        image = codec.compress(mips_program)
+        self._assault(codec, image, mips_program)
+
+    def test_byte_huffman(self, mips_program):
+        codec = ByteHuffmanCodec()
+        image = codec.compress(mips_program)
+        self._assault(codec, image, mips_program)
+
+    def test_sadc_never_hangs(self, mips_program):
+        # SADC's decoder reconstructs instructions; corrupt tokens may
+        # raise on re-encode or produce wrong words — both acceptable,
+        # hanging or non-library exceptions are not.
+        codec = MipsSadcCodec()
+        image = codec.compress(mips_program)
+        rng = random.Random(7)
+        for _ in range(60):
+            block_index = rng.randrange(image.block_count())
+            block = image.blocks[block_index]
+            if not block:
+                continue
+            bit = rng.randrange(8 * len(block))
+            corrupted = _corrupt(image, block_index, bit)
+            try:
+                codec.decompress_block(corrupted, block_index)
+            except ACCEPTABLE:
+                pass
+
+
+class TestTruncation:
+    def test_samc_truncated_block_decodes_something(self, mips_program):
+        # The arithmetic decoder zero-pads past the end: truncation gives
+        # wrong trailing words, never a hang.
+        codec = SamcCodec.for_mips()
+        image = codec.compress(mips_program)
+        blocks = list(image.blocks)
+        blocks[0] = blocks[0][: max(1, len(blocks[0]) // 2)]
+        truncated = CompressedImage(
+            "SAMC", image.original_size, image.block_size, blocks,
+            image.model_bytes, image.metadata,
+        )
+        out = codec.decompress_block(truncated, 0)
+        assert len(out) == image.block_size
+
+    def test_sadc_truncated_block_raises(self, mips_program):
+        codec = MipsSadcCodec()
+        image = codec.compress(mips_program)
+        blocks = list(image.blocks)
+        blocks[0] = blocks[0][:1]
+        truncated = CompressedImage(
+            "SADC", image.original_size, image.block_size, blocks,
+            image.model_bytes, image.metadata,
+        )
+        with pytest.raises(ACCEPTABLE):
+            codec.decompress_block(truncated, 0)
+
+
+class TestWrongModel:
+    def test_samc_foreign_model_decodes_wrong_but_safely(
+        self, mips_program, mips_program_large
+    ):
+        codec = SamcCodec.for_mips()
+        image_a = codec.compress(mips_program)
+        image_b = codec.compress(mips_program_large)
+        # Splice program B's model into program A's image.
+        hybrid = CompressedImage(
+            "SAMC", image_a.original_size, image_a.block_size,
+            list(image_a.blocks), image_a.model_bytes, image_b.metadata,
+        )
+        out = codec.decompress_block(hybrid, 0)
+        assert len(out) == image_a.block_size
+        assert out != mips_program[:32]  # wrong model -> wrong bytes

@@ -1,0 +1,150 @@
+"""Tests for Huffman coding: optimality, canonical form, codec."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitstream.io import BitReader, BitWriter
+from repro.entropy.huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_code,
+    build_code_from_symbols,
+    canonical_codewords,
+    code_lengths,
+)
+from repro.entropy.stats import entropy_bits
+
+
+class TestCodeLengths:
+    def test_empty(self):
+        assert code_lengths({}) == {}
+
+    def test_single_symbol_gets_one_bit(self):
+        assert code_lengths({42: 100}) == {42: 1}
+
+    def test_two_symbols(self):
+        assert code_lengths({0: 9, 1: 1}) == {0: 1, 1: 1}
+
+    def test_uniform_four_symbols(self):
+        lengths = code_lengths({i: 5 for i in range(4)})
+        assert all(length == 2 for length in lengths.values())
+
+    def test_skewed_lengths(self):
+        lengths = code_lengths({0: 8, 1: 4, 2: 2, 3: 1, 4: 1})
+        assert lengths[0] == 1
+        assert lengths[1] == 2
+        assert lengths[3] == 4 and lengths[4] == 4
+
+    def test_zero_counts_excluded(self):
+        lengths = code_lengths({0: 10, 1: 0})
+        assert 1 not in lengths
+
+    def test_deterministic(self):
+        counts = {i: (i * 7) % 5 + 1 for i in range(20)}
+        assert code_lengths(counts) == code_lengths(dict(counts))
+
+
+@given(st.dictionaries(st.integers(0, 63), st.integers(1, 500),
+                       min_size=2, max_size=32))
+def test_kraft_equality(counts):
+    # Huffman codes are complete: Kraft sum is exactly 1.
+    lengths = code_lengths(counts)
+    assert sum(2.0 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+
+@given(st.dictionaries(st.integers(0, 63), st.integers(1, 500),
+                       min_size=2, max_size=32))
+def test_huffman_within_one_bit_of_entropy(counts):
+    code = build_code(counts)
+    mean = code.mean_length(counts)
+    h = entropy_bits(counts)
+    assert h - 1e-9 <= mean <= h + 1.0
+
+
+class TestCanonical:
+    def test_prefix_free(self):
+        counts = {i: (i % 7) + 1 for i in range(30)}
+        code = build_code(counts)
+        words = [
+            format(code.codewords[s], f"0{code.lengths[s]}b")
+            for s in code.lengths
+        ]
+        for a in words:
+            for b in words:
+                if a is not b:
+                    assert not b.startswith(a)
+
+    def test_sorted_by_length_then_symbol(self):
+        lengths = {0: 2, 1: 1, 2: 3, 3: 3}
+        codewords = canonical_codewords(lengths)
+        assert codewords[1] == 0b0
+        assert codewords[0] == 0b10
+        assert codewords[2] == 0b110
+        assert codewords[3] == 0b111
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        symbols = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        code = build_code_from_symbols(symbols)
+        encoder = HuffmanEncoder(code)
+        decoder = HuffmanDecoder(code)
+        assert decoder.decode(encoder.encode(symbols), len(symbols)) == symbols
+
+    def test_encoded_bits_exact(self):
+        symbols = [0, 0, 0, 1]
+        code = build_code_from_symbols(symbols)
+        encoder = HuffmanEncoder(code)
+        assert encoder.encoded_bits(symbols) == 4  # 3*1 + 1*1
+
+    def test_unknown_symbol_rejected(self):
+        code = build_code({0: 1, 1: 1})
+        with pytest.raises(KeyError):
+            HuffmanEncoder(code).encode([2])
+
+    def test_invalid_bits_rejected(self):
+        code = build_code({0: 3, 1: 2, 2: 1})
+        decoder = HuffmanDecoder(code)
+        # An all-ones stream longer than the max code length that maps to
+        # nothing must raise rather than loop.
+        max_len = max(code.lengths.values())
+        bad = int("1" * (max_len + 2), 2)
+        writer = BitWriter()
+        writer.write_bits(bad, max_len + 2)
+        reader = BitReader(writer.getvalue(), pad=True)
+        try:
+            decoder.decode_from(reader, 4)
+        except (ValueError, EOFError):
+            pass  # either is acceptable termination
+
+    def test_shared_writer_interleaving(self):
+        # SADC interleaves several Huffman streams in one writer.
+        code_a = build_code({0: 3, 1: 1})
+        code_b = build_code({7: 1, 9: 1})
+        writer = BitWriter()
+        HuffmanEncoder(code_a).encode_to(writer, [0, 1])
+        HuffmanEncoder(code_b).encode_to(writer, [9])
+        reader = BitReader(writer.getvalue())
+        assert HuffmanDecoder(code_a).decode_from(reader, 2) == [0, 1]
+        assert HuffmanDecoder(code_b).decode_from(reader, 1) == [9]
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=300))
+def test_codec_roundtrip_property(symbols):
+    code = build_code_from_symbols(symbols)
+    encoded = HuffmanEncoder(code).encode(symbols)
+    assert HuffmanDecoder(code).decode(encoded, len(symbols)) == symbols
+
+
+def test_table_bits_accounting():
+    code = build_code({0: 1, 1: 2, 2: 4})
+    assert code.table_bits(8) == 3 * 13
+
+
+def test_mean_length_empty_counts():
+    code = build_code({0: 1})
+    assert code.mean_length({}) == 0.0

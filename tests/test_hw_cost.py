@@ -1,0 +1,73 @@
+"""Tests for the decoder gate/storage cost models."""
+
+from repro.hw.cost import SadcDecoderCost, SamcDecoderCost, compare_decoders
+
+
+class TestSamcCost:
+    def _cost(self, **kwargs):
+        kwargs.setdefault("probability_count", 4 * 255 * 2)
+        return SamcDecoderCost(**kwargs)
+
+    def test_fifteen_midpoint_units_for_nibble(self):
+        assert self._cost(bits_per_cycle=4).midpoint_units == 15
+
+    def test_probability_memory(self):
+        cost = self._cost(probability_bits=8)
+        assert cost.probability_memory_bits == 4 * 255 * 2 * 8
+
+    def test_multiplier_free_smaller(self):
+        full = self._cost(multiplier_free=False)
+        shift = self._cost(multiplier_free=True)
+        assert shift.logic_gates < full.logic_gates
+
+    def test_wider_nibble_costs_more_logic(self):
+        narrow = self._cost(bits_per_cycle=2)
+        wide = self._cost(bits_per_cycle=4)
+        assert wide.logic_gates > narrow.logic_gates
+
+    def test_cycles_per_block(self):
+        cost = self._cost(bits_per_cycle=4)
+        assert cost.cycles_per_block(32) == 64
+
+    def test_total_is_sum(self):
+        cost = self._cost()
+        assert cost.total_gates == cost.logic_gates + cost.memory_gates
+
+
+class TestSadcCost:
+    def _cost(self, **kwargs):
+        kwargs.setdefault("dictionary_bits", 256 * 24)
+        return SadcDecoderCost(**kwargs)
+
+    def test_table_memory_includes_side_tables(self):
+        cost = self._cost()
+        assert cost.table_memory_bits > cost.dictionary_bits
+
+    def test_instruction_generator_cost_optional(self):
+        mips = self._cost(needs_instruction_generator=True)
+        x86 = self._cost(needs_instruction_generator=False)
+        assert mips.logic_gates > x86.logic_gates
+
+    def test_cycles_per_block(self):
+        cost = self._cost()
+        assert cost.cycles_per_block(32) == 16  # 8 instructions x 2
+
+
+class TestComparison:
+    def test_compare_structure(self):
+        table = compare_decoders(
+            SamcDecoderCost(probability_count=2040),
+            SadcDecoderCost(dictionary_bits=256 * 24),
+        )
+        assert set(table) == {"SAMC", "SADC"}
+        for row in table.values():
+            assert {"memory_bits", "logic_gates", "total_gates",
+                    "cycles_per_32B_block"} <= set(row)
+
+    def test_sadc_decoder_faster_per_block(self):
+        table = compare_decoders(
+            SamcDecoderCost(probability_count=2040),
+            SadcDecoderCost(dictionary_bits=256 * 24),
+        )
+        assert (table["SADC"]["cycles_per_32B_block"]
+                < table["SAMC"]["cycles_per_32B_block"])

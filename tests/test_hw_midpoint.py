@@ -1,0 +1,91 @@
+"""Tests for the decoder midpoint datapath (serial == parallel)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.midpoint import (
+    INTERVAL_MAX,
+    PROB_ONE,
+    compute_midpoints,
+    parallel_decode,
+    serial_decode,
+    serial_midpoint,
+    shift_only_midpoint,
+)
+
+
+class TestSerialMidpoint:
+    def test_half_probability_splits_middle(self):
+        mid = serial_midpoint(0, INTERVAL_MAX, PROB_ONE // 2)
+        assert abs(mid - INTERVAL_MAX // 2) <= 1
+
+    def test_clamped_above_min(self):
+        assert serial_midpoint(100, 200, 1) >= 101
+
+    def test_clamped_below_max(self):
+        assert serial_midpoint(100, 200, PROB_ONE - 1) <= 198
+
+    def test_skewed_probability_moves_midpoint(self):
+        low_p = serial_midpoint(0, INTERVAL_MAX, PROB_ONE // 8)
+        high_p = serial_midpoint(0, INTERVAL_MAX, 7 * PROB_ONE // 8)
+        assert low_p < high_p
+
+
+def _random_prob_table(seed):
+    rng = random.Random(seed)
+    table = {}
+
+    def prob(prefix):
+        if prefix not in table:
+            table[prefix] = rng.randrange(1, PROB_ONE)
+        return table[prefix]
+
+    return prob
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_cases(self, seed):
+        rng = random.Random(seed + 100)
+        prob = _random_prob_table(seed)
+        val = rng.randrange(INTERVAL_MAX)
+        assert parallel_decode(val, 4, prob) == serial_decode(val, 4, prob)
+
+    def test_midpoint_count_is_fifteen_for_nibble(self):
+        midpoints = compute_midpoints(4, _random_prob_table(1))
+        assert len(midpoints) == 15  # the paper's 15 mid_i units
+
+    def test_midpoints_independent_of_val(self):
+        # The whole point: the table depends only on (low, high, probs).
+        prob = _random_prob_table(2)
+        table_once = compute_midpoints(4, prob)
+        table_again = compute_midpoints(4, prob)
+        assert table_once == table_again
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, INTERVAL_MAX - 1), st.integers(0, 2**31 - 1))
+def test_parallel_equals_serial_property(val, seed):
+    prob = _random_prob_table(seed)
+    assert parallel_decode(val, 4, prob) == serial_decode(val, 4, prob)
+
+
+class TestShiftOnly:
+    def test_matches_multiplier_for_power_probs(self):
+        # LPS probability 2^-3 with 0 as LPS: p0 = PROB_ONE >> 3.
+        low, high = 0, INTERVAL_MAX
+        shift_mid = shift_only_midpoint(low, high, 3, zero_is_lps=True)
+        mult_mid = serial_midpoint(low, high, PROB_ONE >> 3)
+        assert abs(shift_mid - mult_mid) <= 2
+
+    def test_one_as_lps_subtraction_path(self):
+        low, high = 0, INTERVAL_MAX
+        shift_mid = shift_only_midpoint(low, high, 3, zero_is_lps=False)
+        mult_mid = serial_midpoint(low, high, PROB_ONE - (PROB_ONE >> 3))
+        assert abs(shift_mid - mult_mid) <= 2
+
+    def test_clamping(self):
+        assert shift_only_midpoint(10, 12, 8, True) == 11

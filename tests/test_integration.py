@@ -1,0 +1,100 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import pytest
+
+from repro import sadc_compress, sadc_decompress, samc_compress, samc_decompress
+from repro.analysis.experiments import compression_ratio
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.core.samc import SamcCodec
+from repro.memory.system import CompressedMemorySystem
+from repro.memory.trace import generate_trace
+from repro.workloads.suite import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def program():
+    # Large enough that model tables amortise and statistics settle.
+    return generate_benchmark("gcc", "mips", scale=1.0, seed=0)
+
+
+class TestPublicApi:
+    def test_samc_top_level(self, program):
+        image = samc_compress(program.code)
+        assert samc_decompress(image) == program.code
+
+    def test_sadc_top_level(self, program):
+        image = sadc_compress(program.code, isa="mips")
+        assert sadc_decompress(image) == program.code
+
+    def test_sadc_x86_dispatch(self, x86_program):
+        image = sadc_compress(x86_program, isa="x86")
+        assert sadc_decompress(image) == x86_program
+
+    def test_unknown_isa(self):
+        with pytest.raises(ValueError):
+            sadc_compress(b"", isa="arm")
+
+
+class TestPaperClaims:
+    """The headline relationships from Section 5, on one benchmark."""
+
+    def test_sadc_beats_samc_on_mips(self, program):
+        samc = compression_ratio(program.code, "SAMC", "mips")
+        sadc = compression_ratio(program.code, "SADC", "mips")
+        assert sadc < samc
+
+    def test_both_beat_byte_huffman_on_mips(self, program):
+        huffman = compression_ratio(program.code, "huffman", "mips")
+        samc = compression_ratio(program.code, "SAMC", "mips")
+        sadc = compression_ratio(program.code, "SADC", "mips")
+        assert samc < huffman
+        assert sadc < huffman
+
+    def test_gzip_beats_block_oriented_coders(self, program):
+        gzip = compression_ratio(program.code, "gzip", "mips")
+        sadc = compression_ratio(program.code, "SADC", "mips")
+        assert gzip < sadc  # file-oriented coding is the upper bound
+
+    def test_everything_compresses(self, program):
+        for algorithm in ("compress", "gzip", "huffman", "SAMC", "SADC"):
+            assert compression_ratio(program.code, algorithm, "mips") < 1.0
+
+    def test_samc_worse_on_cisc(self, program, x86_program_large):
+        mips_payload = SamcCodec.for_mips().compress(program.code).payload_ratio
+        x86_payload = SamcCodec.for_bytes().compress(
+            x86_program_large
+        ).payload_ratio
+        assert x86_payload > mips_payload  # no stream subdivision on CISC
+
+
+class TestRandomAccessEquivalence:
+    def test_block_access_equals_full_decompress(self, program):
+        codec = SamcCodec.for_mips()
+        image = codec.compress(program.code)
+        full = codec.decompress(image)
+        stitched = b"".join(
+            codec.decompress_block(image, i) for i in range(image.block_count())
+        )
+        assert stitched == full == program.code
+
+
+class TestArchitectureLoop:
+    def test_compress_then_simulate(self, program):
+        image = samc_compress(program.code)
+        trace = list(generate_trace(len(program.code), 30_000, seed=3))
+        base = CompressedMemorySystem(len(program.code)).run(trace)
+        comp = CompressedMemorySystem(len(program.code), image=image).run(trace)
+        slowdown = comp.slowdown_vs(base)
+        # Decompress-on-miss costs something but not catastrophe at a
+        # healthy hit ratio (the paper's core performance argument).
+        assert 1.0 <= slowdown < 3.0
+        assert comp.cache.hit_ratio > 0.8
+
+    def test_block_oriented_codecs_agree_on_originals(self, program):
+        # SAMC, SADC and byte-Huffman must reconstruct identical bytes.
+        samc = samc_compress(program.code)
+        sadc = sadc_compress(program.code, isa="mips")
+        huff_codec = ByteHuffmanCodec()
+        huff = huff_codec.compress(program.code)
+        assert samc_decompress(samc) == sadc_decompress(sadc) == \
+            huff_codec.decompress(huff) == program.code

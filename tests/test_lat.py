@@ -1,0 +1,121 @@
+"""Tests for the LAT, compacted LAT, and compressed-image accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lat import (
+    CompactLAT,
+    CompressedImage,
+    build_lat,
+    original_block_count,
+    split_blocks,
+)
+
+
+class TestLineAddressTable:
+    def test_offsets_are_prefix_sums(self):
+        lat = build_lat([10, 20, 5])
+        assert list(lat.offsets) == [0, 10, 30]
+        assert lat.payload_bytes == 35
+
+    def test_block_span(self):
+        lat = build_lat([10, 20, 5])
+        assert lat.block_span(0) == (0, 10)
+        assert lat.block_span(2) == (30, 35)
+
+    def test_entry_bits_scale_with_payload(self):
+        small = build_lat([4] * 4)
+        big = build_lat([1000] * 100)
+        assert big.entry_bits > small.entry_bits
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_lat([-1])
+
+    def test_storage_accounting(self):
+        lat = build_lat([100] * 16)
+        assert lat.storage_bits == 16 * lat.entry_bits
+        assert lat.storage_bytes == (lat.storage_bits + 7) // 8
+
+
+class TestCompactLAT:
+    def _make(self, sizes, group=8):
+        lat = build_lat(sizes)
+        return CompactLAT(lat.offsets, tuple(sizes), lat.payload_bytes, group)
+
+    def test_offsets_match_plain_lat(self):
+        sizes = [17, 23, 9, 31, 12, 18, 25, 8, 14, 29]
+        plain = build_lat(sizes)
+        compact = self._make(sizes)
+        for i in range(len(sizes)):
+            assert compact.block_offset(i) == plain.block_offset(i)
+
+    def test_compact_smaller_than_plain_for_large_programs(self):
+        sizes = [20 + (i % 13) for i in range(4000)]
+        plain = build_lat(sizes)
+        compact = self._make(sizes)
+        assert compact.storage_bits < plain.storage_bits
+
+    def test_length_bits_cover_largest_block(self):
+        compact = self._make([1, 2, 63])
+        assert (1 << compact.length_bits) > 63
+
+
+@given(st.lists(st.integers(0, 64), min_size=1, max_size=200))
+def test_compact_lat_offsets_property(sizes):
+    plain = build_lat(sizes)
+    compact = CompactLAT(plain.offsets, tuple(sizes), plain.payload_bytes)
+    assert all(
+        compact.block_offset(i) == plain.block_offset(i)
+        for i in range(len(sizes))
+    )
+
+
+class TestCompressedImage:
+    def _image(self):
+        return CompressedImage(
+            algorithm="test",
+            original_size=128,
+            block_size=32,
+            blocks=[b"a" * 10, b"b" * 20, b"c" * 5, b"d" * 15],
+            model_bytes=100,
+        )
+
+    def test_payload_and_total(self):
+        image = self._image()
+        assert image.payload_bytes == 50
+        assert image.total_bytes == 50 + 100 + image.compact_lat.storage_bytes
+
+    def test_ratio(self):
+        image = self._image()
+        assert image.compression_ratio == image.total_bytes / 128
+        assert image.payload_ratio == 50 / 128
+
+    def test_zero_original(self):
+        image = CompressedImage("t", 0, 32, [], 0)
+        assert image.compression_ratio == 1.0
+        assert image.payload_ratio == 1.0
+
+    def test_describe_mentions_parts(self):
+        text = self._image().describe()
+        assert "payload" in text and "LAT" in text and "ratio" in text
+
+
+class TestHelpers:
+    def test_original_block_count(self):
+        assert original_block_count(64, 32) == 2
+        assert original_block_count(65, 32) == 3
+        assert original_block_count(0, 32) == 0
+
+    def test_original_block_count_bad_size(self):
+        with pytest.raises(ValueError):
+            original_block_count(10, 0)
+
+    def test_split_blocks(self):
+        blocks = split_blocks(b"x" * 70, 32)
+        assert [len(b) for b in blocks] == [32, 32, 6]
+
+    def test_split_blocks_bad_size(self):
+        with pytest.raises(ValueError):
+            split_blocks(b"x", -1)

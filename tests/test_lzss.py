@@ -1,0 +1,93 @@
+"""Tests for the LZSS sliding-window matcher."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lzss import (
+    MAX_MATCH,
+    MIN_MATCH,
+    WINDOW_SIZE,
+    Literal,
+    Match,
+    detokenize,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_empty(self):
+        assert tokenize(b"") == []
+
+    def test_no_matches_all_literals(self):
+        tokens = tokenize(b"abcdef")
+        assert all(isinstance(t, Literal) for t in tokens)
+
+    def test_simple_repeat_found(self):
+        tokens = tokenize(b"abcdabcd")
+        matches = [t for t in tokens if isinstance(t, Match)]
+        assert matches and matches[0].length == 4 and matches[0].distance == 4
+
+    def test_overlapping_match(self):
+        # 'aaaa...' matches itself with distance 1 (RLE-style).
+        tokens = tokenize(b"a" * 50)
+        matches = [t for t in tokens if isinstance(t, Match)]
+        assert matches and matches[0].distance == 1
+        assert matches[0].length <= MAX_MATCH
+
+    def test_min_match_respected(self):
+        for token in tokenize(b"ababab"):
+            if isinstance(token, Match):
+                assert token.length >= MIN_MATCH
+
+    def test_max_match_capped(self):
+        tokens = tokenize(b"x" * 1000)
+        assert all(
+            t.length <= MAX_MATCH for t in tokens if isinstance(t, Match)
+        )
+
+    def test_window_limit(self):
+        # A repeat farther back than the window must not be referenced.
+        unique = bytes((i * 7 + i // 251) % 256 for i in range(WINDOW_SIZE + 200))
+        data = b"NEEDLE!!" + unique + b"NEEDLE!!"
+        for token in tokenize(data):
+            if isinstance(token, Match):
+                assert token.distance <= WINDOW_SIZE
+
+
+class TestDetokenize:
+    def test_inverts(self):
+        data = b"compression compression compression"
+        assert detokenize(iter(tokenize(data))) == data
+
+    def test_bad_distance_rejected(self):
+        with pytest.raises(ValueError):
+            detokenize(iter([Match(3, 5)]))
+
+    def test_self_overlap_expansion(self):
+        tokens = [Literal(ord("z")), Match(7, 1)]
+        assert detokenize(iter(tokens)) == b"z" * 8
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=2000))
+def test_roundtrip_property(data):
+    assert detokenize(iter(tokenize(data))) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.text(alphabet="ab", max_size=800))
+def test_roundtrip_low_alphabet(text):
+    data = text.encode()
+    assert detokenize(iter(tokenize(data))) == data
+
+
+def test_roundtrip_program(mips_program):
+    assert detokenize(iter(tokenize(mips_program))) == mips_program
+
+
+def test_matches_reduce_token_count(mips_program_large):
+    tokens = tokenize(mips_program_large)
+    assert len(tokens) < len(mips_program_large) // 2  # code is repetitive

@@ -1,0 +1,75 @@
+"""Tests for the LZW (UNIX compress) baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lzw import lzw_compress, lzw_decompress, lzw_ratio
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        assert lzw_decompress(lzw_compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert lzw_decompress(lzw_compress(b"Q")) == b"Q"
+
+    def test_repetitive(self):
+        data = b"abcabcabc" * 500
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_all_byte_values(self):
+        data = bytes(range(256)) * 4
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_kwkwk_pattern(self):
+        # 'aaaa...' forces the code == next_code corner case immediately.
+        data = b"a" * 1000
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_dictionary_reset_path(self):
+        # Enough distinct material to fill 2^16 codes and force a CLEAR.
+        rng = random.Random(11)
+        data = bytes(rng.randrange(256) for _ in range(400_000))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_generated_program(self, mips_program):
+        assert lzw_decompress(lzw_compress(mips_program)) == mips_program
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=3000))
+def test_roundtrip_property(data):
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+class TestCompressionBehaviour:
+    def test_repetitive_compresses_well(self):
+        data = b"the same phrase repeats " * 400
+        assert lzw_ratio(data) < 0.25
+
+    def test_random_data_does_not_compress(self):
+        rng = random.Random(5)
+        data = bytes(rng.randrange(256) for _ in range(20000))
+        assert lzw_ratio(data) > 1.0  # 9+ bit codes for ~8-bit entropy
+
+    def test_code_beats_random(self, mips_program):
+        rng = random.Random(5)
+        noise = bytes(rng.randrange(256) for _ in range(len(mips_program)))
+        assert lzw_ratio(mips_program) < lzw_ratio(noise)
+
+    def test_empty_ratio_is_one(self):
+        assert lzw_ratio(b"") == 1.0
+
+
+def test_invalid_code_rejected():
+    # A header claiming content but a stream with an impossible code.
+    from repro.bitstream.io import BitWriter
+
+    writer = BitWriter()
+    writer.write_bits(10, 32)       # length 10
+    writer.write_bits(300, 9)       # code 300 before any entry exists
+    with pytest.raises(ValueError):
+        lzw_decompress(writer.getvalue())

@@ -1,0 +1,80 @@
+"""Tests for the instruction cache model."""
+
+import pytest
+
+from repro.memory.cache import InstructionCache
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache = InstructionCache(4096, 32, 2)
+        assert cache.n_sets == 64
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionCache(1000, 32, 2)
+
+    def test_block_index(self):
+        cache = InstructionCache(4096, 32, 2)
+        assert cache.block_index(0) == 0
+        assert cache.block_index(31) == 0
+        assert cache.block_index(32) == 1
+
+
+class TestBehaviour:
+    def test_first_access_misses(self):
+        cache = InstructionCache()
+        assert cache.access(0) is False
+        assert cache.stats.misses == 1
+
+    def test_second_access_hits(self):
+        cache = InstructionCache()
+        cache.access(0)
+        assert cache.access(4) is True  # same 32-byte block
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self):
+        cache = InstructionCache(64, 32, 1)  # 2 sets, direct-mapped
+        cache.access(0)       # set 0
+        cache.access(64)      # set 0, evicts block 0
+        assert cache.access(0) is False
+
+    def test_associativity_retains_both(self):
+        cache = InstructionCache(128, 32, 2)  # 2 sets, 2-way
+        cache.access(0)
+        cache.access(64)      # same set, second way
+        assert cache.access(0) is True
+        assert cache.access(64) is True
+
+    def test_lru_order(self):
+        cache = InstructionCache(64, 32, 2)  # 1 set, 2-way
+        cache.access(0)
+        cache.access(32)
+        cache.access(0)       # refresh block 0
+        cache.access(64)      # evicts block 1 (LRU), not block 0
+        assert cache.access(0) is True
+        assert cache.access(32) is False
+
+    def test_flush(self):
+        cache = InstructionCache()
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) is False
+
+    def test_contains_does_not_mutate(self):
+        cache = InstructionCache()
+        cache.access(0)
+        accesses = cache.stats.accesses
+        assert cache.contains(0) is True
+        assert cache.stats.accesses == accesses
+
+    def test_hit_ratio(self):
+        cache = InstructionCache()
+        for _ in range(4):
+            cache.access(0)
+        assert cache.stats.hit_ratio == pytest.approx(0.75)
+
+    def test_empty_stats(self):
+        cache = InstructionCache()
+        assert cache.stats.hit_ratio == 0.0
+        assert cache.stats.miss_ratio == 0.0

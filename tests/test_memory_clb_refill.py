@@ -1,0 +1,93 @@
+"""Tests for the CLB and the refill-engine timing model."""
+
+import pytest
+
+from repro.memory.clb import CLB
+from repro.memory.refill import RefillEngine, RefillTiming
+
+
+class TestCLB:
+    def test_first_lookup_misses(self):
+        clb = CLB()
+        assert clb.lookup(0) is False
+
+    def test_same_group_hits(self):
+        clb = CLB(group_size=8)
+        clb.lookup(0)
+        assert clb.lookup(7) is True   # same LAT group
+        assert clb.lookup(8) is False  # next group
+
+    def test_lru_eviction(self):
+        clb = CLB(entries=2, group_size=1)
+        clb.lookup(0)
+        clb.lookup(1)
+        clb.lookup(2)  # evicts group 0
+        assert clb.lookup(0) is False
+
+    def test_lru_refresh(self):
+        clb = CLB(entries=2, group_size=1)
+        clb.lookup(0)
+        clb.lookup(1)
+        clb.lookup(0)  # refresh
+        clb.lookup(2)  # evicts group 1
+        assert clb.lookup(0) is True
+
+    def test_flush(self):
+        clb = CLB()
+        clb.lookup(0)
+        clb.flush()
+        assert clb.lookup(0) is False
+
+    def test_stats(self):
+        clb = CLB()
+        clb.lookup(0)
+        clb.lookup(0)
+        assert clb.stats.lookups == 2
+        assert clb.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            CLB(entries=0)
+
+
+class TestRefillEngine:
+    def test_uncompressed_has_no_decode_stage(self):
+        engine = RefillEngine("uncompressed")
+        assert engine.decompression_cycles(32) == 0
+
+    def test_samc_four_bits_per_cycle(self):
+        engine = RefillEngine("SAMC")
+        assert engine.decompression_cycles(32) == 64  # 256 bits / 4
+
+    def test_sadc_faster_than_samc(self):
+        samc = RefillEngine("SAMC")
+        sadc = RefillEngine("SADC")
+        assert sadc.decompression_cycles(32) < samc.decompression_cycles(32)
+
+    def test_clb_miss_adds_memory_latency(self):
+        engine = RefillEngine("SAMC", RefillTiming(memory_latency=40))
+        hit = engine.refill_cycles(20, 32, clb_hit=True)
+        miss = engine.refill_cycles(20, 32, clb_hit=False)
+        assert miss - hit == 40
+
+    def test_compressed_transfer_cheaper(self):
+        timing = RefillTiming(bus_bytes_per_cycle=4)
+        engine = RefillEngine("uncompressed", timing)
+        full = engine.refill_cycles(32, 32)
+        half = engine.refill_cycles(16, 32)
+        assert half == full - 4
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            RefillEngine("zstd")
+
+    def test_transfer_cycles_rounds_up(self):
+        timing = RefillTiming(bus_bytes_per_cycle=4)
+        assert timing.transfer_cycles(17) == 5
+        assert timing.transfer_cycles(16) == 4
+        assert timing.transfer_cycles(0) == 0
+
+    def test_refill_dominated_by_memory_latency(self):
+        # Sanity on magnitudes: a miss costs tens of cycles.
+        engine = RefillEngine("SAMC")
+        assert engine.refill_cycles(20, 32) > RefillTiming().memory_latency

@@ -1,0 +1,107 @@
+"""Integration tests for the decompress-on-miss memory system."""
+
+import pytest
+
+from repro.core.samc import SamcCodec
+from repro.memory.system import CompressedMemorySystem
+from repro.memory.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def samc_image(mips_program):
+    return SamcCodec.for_mips().compress(mips_program)
+
+
+@pytest.fixture(scope="module")
+def short_trace(mips_program):
+    return list(generate_trace(len(mips_program), length=20_000, seed=1))
+
+
+class TestTrace:
+    def test_addresses_in_range(self, mips_program, short_trace):
+        assert all(0 <= a < len(mips_program) for a in short_trace)
+
+    def test_word_aligned(self, short_trace):
+        assert all(a % 4 == 0 for a in short_trace)
+
+    def test_deterministic(self, mips_program):
+        a = list(generate_trace(len(mips_program), 1000, seed=5))
+        b = list(generate_trace(len(mips_program), 1000, seed=5))
+        assert a == b
+
+    def test_length_exact(self, mips_program):
+        assert len(list(generate_trace(len(mips_program), 1234))) == 1234
+
+    def test_locality_tunable(self, mips_program):
+        tight = list(generate_trace(len(mips_program), 20_000, seed=2,
+                                    mean_loop_bytes=64, mean_iterations=64))
+        loose = list(generate_trace(len(mips_program), 20_000, seed=2,
+                                    mean_loop_bytes=2048, mean_iterations=2))
+        from repro.memory.cache import InstructionCache
+
+        def hit_ratio(trace):
+            cache = InstructionCache(1024, 32, 2)
+            for address in trace:
+                cache.access(address)
+            return cache.stats.hit_ratio
+
+        assert hit_ratio(tight) > hit_ratio(loose)
+
+    def test_tiny_program_rejected(self):
+        with pytest.raises(ValueError):
+            list(generate_trace(4, 10))
+
+
+class TestSystem:
+    def test_uncompressed_baseline(self, mips_program, short_trace):
+        system = CompressedMemorySystem(len(mips_program))
+        result = system.run(short_trace)
+        assert result.algorithm == "uncompressed"
+        assert result.clb is None
+        assert result.fetches == len(short_trace)
+        assert result.cycles >= result.fetches
+
+    def test_compressed_slower_than_uncompressed(
+        self, mips_program, samc_image, short_trace
+    ):
+        base = CompressedMemorySystem(len(mips_program)).run(short_trace)
+        comp = CompressedMemorySystem(
+            len(mips_program), image=samc_image
+        ).run(short_trace)
+        assert comp.cycles >= base.cycles
+        assert comp.slowdown_vs(base) >= 1.0
+
+    def test_slowdown_shrinks_with_bigger_cache(
+        self, mips_program, samc_image, short_trace
+    ):
+        def slowdown(cache_size):
+            base = CompressedMemorySystem(
+                len(mips_program), cache_size=cache_size
+            ).run(short_trace)
+            comp = CompressedMemorySystem(
+                len(mips_program), image=samc_image, cache_size=cache_size
+            ).run(short_trace)
+            return comp.slowdown_vs(base)
+
+        assert slowdown(8192) <= slowdown(512) + 1e-9
+
+    def test_clb_stats_collected(self, mips_program, samc_image, short_trace):
+        system = CompressedMemorySystem(len(mips_program), image=samc_image)
+        result = system.run(short_trace)
+        assert result.clb is not None
+        assert result.clb.lookups == result.cache.misses
+
+    def test_block_size_mismatch_rejected(self, mips_program, samc_image):
+        with pytest.raises(ValueError):
+            CompressedMemorySystem(
+                len(mips_program), image=samc_image, block_size=64
+            )
+
+    def test_cycles_per_fetch(self, mips_program, short_trace):
+        result = CompressedMemorySystem(len(mips_program)).run(short_trace)
+        assert result.cycles_per_fetch == result.cycles / result.fetches
+
+    def test_empty_trace(self, mips_program):
+        result = CompressedMemorySystem(len(mips_program)).run([])
+        assert result.cycles == 0
+        assert result.cycles_per_fetch == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the MIPS assembler / disassembler."""
+
+import pytest
+
+from repro.isa.mips.asm import (
+    assemble,
+    assemble_one,
+    assemble_to_bytes,
+    disassemble,
+    disassemble_one,
+)
+
+
+class TestAssembler:
+    def test_r_type(self):
+        instr = assemble_one("addu $v0, $a0, $a1")
+        assert instr.mnemonic == "addu"
+        assert (instr.rd, instr.rs, instr.rt) == (2, 4, 5)
+
+    def test_memory_operand_syntax(self):
+        instr = assemble_one("lw $t0, 8($sp)")
+        assert instr.mnemonic == "lw"
+        assert instr.rt == 8 and instr.rs == 29 and instr.imm == 8
+
+    def test_negative_offset_wraps_to_16_bits(self):
+        instr = assemble_one("sw $ra, -4($sp)")
+        assert instr.imm == 0xFFFC
+
+    def test_shift_amount(self):
+        instr = assemble_one("sll $t0, $t1, 2")
+        assert instr.shamt == 2
+
+    def test_jump_target(self):
+        instr = assemble_one("jal 0x100")
+        assert instr.target == 0x40  # byte address >> 2
+
+    def test_fp_registers(self):
+        instr = assemble_one("add.d $f0, $f2, $f4")
+        # COP1 layout: ft->rt, fs->rd, fd->shamt.
+        assert instr.shamt == 0 and instr.rd == 2 and instr.rt == 4
+
+    def test_comment_and_blank_lines_skipped(self):
+        instrs = assemble(["# header", "", "addu $v0, $v0, $v1  # add"])
+        assert len(instrs) == 1
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            assemble_one("frobnicate $v0")
+
+    def test_operand_count_mismatch(self):
+        with pytest.raises(ValueError):
+            assemble_one("addu $v0, $a0")
+
+    def test_assemble_to_bytes_length(self):
+        code = assemble_to_bytes(["nop" if False else "addu $v0,$v0,$v1",
+                                  "jr $ra"])
+        assert len(code) == 8
+
+
+class TestDisassembler:
+    def test_roundtrip_text(self):
+        source = [
+            "addiu $sp, $sp, -32",
+            "sw $ra, 28($sp)",
+            "lw $a0, 0($a1)",
+            "addu $v0, $a0, $a1",
+            "bne $v0, $zero, 4",
+            "jal 0x100",
+            "jr $ra",
+        ]
+        code = assemble_to_bytes(source)
+        texts = disassemble(code)
+        recoded = assemble_to_bytes(texts)
+        assert recoded == code
+
+    def test_disassemble_one_formats_memory_as_operands(self):
+        word = assemble_one("lw $t0, 4($sp)").encode()
+        text = disassemble_one(word)
+        assert text.startswith("lw")
+        assert "$t0" in text and "$sp" in text
+
+    def test_misaligned_image_rejected(self):
+        with pytest.raises(ValueError):
+            disassemble(b"\x00" * 5)
+
+
+def test_generated_program_disassembles(mips_program):
+    texts = disassemble(mips_program)
+    assert len(texts) == len(mips_program) // 4
+    # Every line reassembles to the identical word.
+    assert assemble_to_bytes(texts) == mips_program

@@ -1,0 +1,120 @@
+"""Tests for the MIPS instruction-format model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.mips.formats import (
+    BY_MNEMONIC,
+    OPCODES,
+    Instruction,
+    decode,
+)
+from repro.isa.mips.registers import register_name, register_number
+
+
+class TestOpcodeTable:
+    def test_mnemonics_unique(self):
+        names = [spec.mnemonic for spec in OPCODES]
+        assert len(names) == len(set(names))
+
+    def test_r_type_have_funct(self):
+        for spec in OPCODES:
+            if spec.fmt == "R":
+                assert spec.funct is not None, spec.mnemonic
+
+    def test_core_instructions_present(self):
+        for mnemonic in ("addu", "addiu", "lw", "sw", "beq", "bne", "jal",
+                         "jr", "lui", "sll", "slt", "mul.d", "lwc1"):
+            assert mnemonic in BY_MNEMONIC
+
+
+class TestEncodeDecode:
+    def test_addu_field_packing(self):
+        instr = Instruction(BY_MNEMONIC["addu"], rd=2, rs=4, rt=5)
+        word = instr.encode()
+        assert word >> 26 == 0
+        assert word & 0x3F == 0x21
+        assert (word >> 11) & 0x1F == 2
+        assert (word >> 21) & 0x1F == 4
+        assert (word >> 16) & 0x1F == 5
+
+    def test_addiu_immediate(self):
+        instr = Instruction(BY_MNEMONIC["addiu"], rt=29, rs=29, imm=0xFFF8)
+        word = instr.encode()
+        assert word >> 26 == 0x09
+        assert word & 0xFFFF == 0xFFF8
+
+    def test_jal_target(self):
+        instr = Instruction(BY_MNEMONIC["jal"], target=0x123456)
+        word = instr.encode()
+        assert word >> 26 == 0x03
+        assert word & 0x3FFFFFF == 0x123456
+
+    def test_regimm_branch_encodes_condition_in_rt(self):
+        word = Instruction(BY_MNEMONIC["bgez"], rs=3, imm=8).encode()
+        assert (word >> 16) & 0x1F == 0x01
+        assert decode(word).mnemonic == "bgez"
+
+    def test_cop1_fmt_field(self):
+        word = Instruction(BY_MNEMONIC["add.d"], rt=2, rd=4, shamt=6).encode()
+        assert word >> 26 == 0x11
+        assert (word >> 21) & 0x1F == 0x11  # double-precision fmt
+        decoded = decode(word)
+        assert decoded.mnemonic == "add.d"
+        assert decoded.rt == 2 and decoded.rd == 4 and decoded.shamt == 6
+
+    def test_all_opcodes_roundtrip(self):
+        for spec in OPCODES:
+            instr = Instruction(spec, rs=1, rt=2, rd=3, shamt=4,
+                                imm=0x1234, target=0x155_5555)
+            # Fields the format ignores are dropped by encode; decode must
+            # recover what encode actually stored.
+            decoded = decode(instr.encode())
+            assert decoded.spec.mnemonic == spec.mnemonic
+            assert decoded.encode() == instr.encode()
+
+    def test_decode_rejects_unknown_funct(self):
+        with pytest.raises(ValueError):
+            decode(0x0000_003F)  # SPECIAL with unused funct
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            decode(0x3F << 26)
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            decode(1 << 32)
+
+
+@given(st.sampled_from(OPCODES), st.integers(0, 31), st.integers(0, 31),
+       st.integers(0, 31), st.integers(0, 31), st.integers(0, 0xFFFF),
+       st.integers(0, 0x3FFFFFF))
+def test_encode_decode_roundtrip_property(spec, rs, rt, rd, shamt, imm, target):
+    instr = Instruction(spec, rs=rs, rt=rt, rd=rd, shamt=shamt,
+                        imm=imm, target=target)
+    word = instr.encode()
+    assert 0 <= word < 2**32
+    decoded = decode(word)
+    assert decoded.mnemonic == spec.mnemonic
+    assert decoded.encode() == word
+
+
+class TestRegisters:
+    def test_name_number_roundtrip(self):
+        for number in range(32):
+            assert register_number(register_name(number)) == number
+
+    def test_aliases(self):
+        assert register_number("$sp") == 29
+        assert register_number("sp") == 29
+        assert register_number("$29") == 29
+        assert register_number("r29") == 29
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            register_number("$xyz")
+
+    def test_out_of_range_name(self):
+        with pytest.raises(ValueError):
+            register_name(32)

@@ -1,0 +1,210 @@
+"""Tests for the MIPS interpreter."""
+
+import pytest
+
+from repro.isa.mips.asm import assemble_to_bytes
+from repro.isa.mips.interp import MachineError, MipsMachine
+
+
+def run(source, setup=None, max_instructions=100_000):
+    machine = MipsMachine(memory_size=1 << 16)
+    machine.load_code(assemble_to_bytes(source))
+    if setup:
+        setup(machine)
+    machine.run(max_instructions=max_instructions)
+    return machine
+
+
+class TestAlu:
+    def test_addiu_and_addu(self):
+        m = run(["addiu $t0, $zero, 5",
+                 "addiu $t1, $zero, 7",
+                 "addu $v0, $t0, $t1",
+                 "syscall"])
+        assert m.reg(2) == 12
+
+    def test_negative_immediates_wrap(self):
+        m = run(["addiu $t0, $zero, -1", "syscall"])
+        assert m.reg(8) == 0xFFFFFFFF
+
+    def test_register_zero_immutable(self):
+        m = run(["addiu $zero, $zero, 5", "syscall"])
+        assert m.reg(0) == 0
+
+    def test_logical_ops(self):
+        m = run(["addiu $t0, $zero, 0xF0",
+                 "addiu $t1, $zero, 0x0F",
+                 "or  $t2, $t0, $t1",
+                 "and $t3, $t0, $t1",
+                 "xor $t4, $t0, $t1",
+                 "nor $t5, $t0, $t1",
+                 "syscall"])
+        assert m.reg(10) == 0xFF
+        assert m.reg(11) == 0x00
+        assert m.reg(12) == 0xFF
+        assert m.reg(13) == 0xFFFFFF00
+
+    def test_shifts(self):
+        m = run(["addiu $t0, $zero, -8",
+                 "sll $t1, $t0, 1",
+                 "srl $t2, $t0, 1",
+                 "sra $t3, $t0, 1",
+                 "syscall"])
+        assert m.reg(9) == 0xFFFFFFF0
+        assert m.reg(10) == 0x7FFFFFFC
+        assert m.reg(11) == 0xFFFFFFFC
+
+    def test_slt_signed_vs_unsigned(self):
+        m = run(["addiu $t0, $zero, -1",
+                 "addiu $t1, $zero, 1",
+                 "slt  $t2, $t0, $t1",
+                 "sltu $t3, $t0, $t1",
+                 "syscall"])
+        assert m.reg(10) == 1  # -1 < 1 signed
+        assert m.reg(11) == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_lui_ori_pair(self):
+        m = run(["lui $t0, 0x1234", "ori $t0, $t0, 0x5678", "syscall"])
+        assert m.reg(8) == 0x12345678
+
+
+class TestMultDiv:
+    def test_mult_signed(self):
+        m = run(["addiu $t0, $zero, -3",
+                 "addiu $t1, $zero, 7",
+                 "mult $t0, $t1",
+                 "mflo $v0",
+                 "syscall"])
+        assert m.reg(2) == (-21) & 0xFFFFFFFF
+
+    def test_div(self):
+        m = run(["addiu $t0, $zero, 17",
+                 "addiu $t1, $zero, 5",
+                 "div $t0, $t1",
+                 "mflo $v0",
+                 "mfhi $v1",
+                 "syscall"])
+        assert m.reg(2) == 3
+        assert m.reg(3) == 2
+
+    def test_div_by_zero_pins_zero(self):
+        m = run(["addiu $t0, $zero, 9",
+                 "div $t0, $zero",
+                 "mflo $v0",
+                 "syscall"])
+        assert m.reg(2) == 0
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        m = run(["addiu $t0, $zero, 0x100",
+                 "addiu $t1, $zero, 0x77",
+                 "sw $t1, 0($t0)",
+                 "lw $v0, 0($t0)",
+                 "syscall"])
+        assert m.reg(2) == 0x77
+
+    def test_byte_sign_extension(self):
+        def setup(machine):
+            machine.write_byte(0x200, 0x80)
+
+        m = run(["addiu $t0, $zero, 0x200",
+                 "lb  $v0, 0($t0)",
+                 "lbu $v1, 0($t0)",
+                 "syscall"], setup=setup)
+        assert m.reg(2) == 0xFFFFFF80
+        assert m.reg(3) == 0x80
+
+    def test_halfword(self):
+        m = run(["addiu $t0, $zero, 0x300",
+                 "lui  $t1, 0x1",          # t1 = 0x10000 -> stores as 0
+                 "ori  $t1, $t1, 0x8001",
+                 "sh   $t1, 0($t0)",
+                 "lhu  $v0, 0($t0)",
+                 "lh   $v1, 0($t0)",
+                 "syscall"])
+        assert m.reg(2) == 0x8001
+        assert m.reg(3) == 0xFFFF8001
+
+    def test_misaligned_word_raises(self):
+        with pytest.raises(MachineError):
+            run(["addiu $t0, $zero, 0x101", "lw $v0, 0($t0)", "syscall"])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(MachineError):
+            machine = MipsMachine(memory_size=64)
+            machine.read_word(128)
+
+
+class TestControlFlow:
+    def test_forward_branch_taken(self):
+        m = run(["beq $zero, $zero, skip",
+                 "addiu $v0, $zero, 1",
+                 "skip:",
+                 "addiu $v1, $zero, 2",
+                 "syscall"])
+        assert m.reg(2) == 0
+        assert m.reg(3) == 2
+
+    def test_backward_branch_loop(self):
+        m = run(["addiu $t0, $zero, 5",
+                 "addiu $v0, $zero, 0",
+                 "loop:",
+                 "blez $t0, done",
+                 "addu $v0, $v0, $t0",
+                 "addiu $t0, $t0, -1",
+                 "j loop",
+                 "done:",
+                 "syscall"])
+        assert m.reg(2) == 15
+
+    def test_jal_jr_call_return(self):
+        m = run(["jal func",
+                 "addiu $v1, $zero, 9",
+                 "syscall",
+                 "func:",
+                 "addiu $v0, $zero, 42",
+                 "jr $ra"])
+        assert m.reg(2) == 42
+        assert m.reg(3) == 9
+
+    def test_instruction_budget(self):
+        with pytest.raises(MachineError):
+            run(["loop:", "j loop"], max_instructions=100)
+
+    def test_step_after_halt_raises(self):
+        m = run(["syscall"])
+        with pytest.raises(MachineError):
+            m.step()
+
+
+class TestFloatingPoint:
+    def test_double_arithmetic(self):
+        def setup(machine):
+            machine.write_double(0x400, 2.5)
+            machine.write_double(0x408, 4.0)
+
+        m = run(["addiu $t0, $zero, 0x400",
+                 "ldc1 $f0, 0($t0)",
+                 "ldc1 $f2, 8($t0)",
+                 "add.d $f4, $f0, $f2",
+                 "mul.d $f6, $f0, $f2",
+                 "sdc1 $f4, 16($t0)",
+                 "sdc1 $f6, 24($t0)",
+                 "syscall"], setup=setup)
+        assert m.read_double(0x410) == 6.5
+        assert m.read_double(0x418) == 10.0
+
+
+class TestLabels:
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_to_bytes(["x:", "syscall", "x:", "syscall"])
+
+    def test_label_on_same_line_as_instruction(self):
+        code = assemble_to_bytes(["start: addiu $v0, $zero, 3", "syscall"])
+        assert len(code) == 8
+
+    def test_numeric_offsets_still_work(self):
+        code = assemble_to_bytes(["bne $v0, $zero, -2", "syscall"])
+        assert len(code) == 8

@@ -1,0 +1,97 @@
+"""Tests for the MIPS SADC stream split (opcode/register/imm16/imm26)."""
+
+import pytest
+
+from repro.isa.mips.asm import assemble_to_bytes
+from repro.isa.mips.formats import BY_MNEMONIC
+from repro.isa.mips.streams import (
+    MipsStreams,
+    merge_streams,
+    register_slots,
+    split_streams,
+    uses_imm16,
+    uses_imm26,
+)
+
+
+class TestSlotTables:
+    def test_r_type_three_slots(self):
+        assert register_slots(BY_MNEMONIC["addu"]) == ("rd", "rs", "rt")
+
+    def test_shift_uses_shamt_slot(self):
+        assert register_slots(BY_MNEMONIC["sll"]) == ("rd", "rt", "shamt")
+
+    def test_load_two_slots_and_imm(self):
+        spec = BY_MNEMONIC["lw"]
+        assert register_slots(spec) == ("rt", "rs")
+        assert uses_imm16(spec)
+        assert not uses_imm26(spec)
+
+    def test_jump_only_long_imm(self):
+        spec = BY_MNEMONIC["jal"]
+        assert register_slots(spec) == ()
+        assert uses_imm26(spec)
+        assert not uses_imm16(spec)
+
+    def test_fp_arith_slots(self):
+        assert register_slots(BY_MNEMONIC["mul.d"]) == ("shamt", "rd", "rt")
+
+
+class TestSplitMerge:
+    SOURCE = [
+        "addiu $sp, $sp, -24",
+        "sw $ra, 20($sp)",
+        "lw $a0, 0($a1)",
+        "sll $t0, $a0, 2",
+        "addu $v0, $t0, $a1",
+        "jal 0x200",
+        "lw $ra, 20($sp)",
+        "jr $ra",
+    ]
+
+    def test_stream_contents(self):
+        code = assemble_to_bytes(self.SOURCE)
+        streams = split_streams(code)
+        assert len(streams.opcodes) == 8
+        assert len(streams.imm16) == 4   # addiu, sw, lw, lw offsets
+        assert len(streams.imm26) == 1
+        assert (0x200 >> 2) in streams.imm26
+
+    def test_merge_inverts_split(self):
+        code = assemble_to_bytes(self.SOURCE)
+        assert merge_streams(split_streams(code)) == code
+
+    def test_bit_size_accounting(self):
+        code = assemble_to_bytes(["jal 0x40", "jr $ra"])
+        streams = split_streams(code)
+        sizes = streams.bit_sizes()
+        assert sizes["opcodes"] == 16      # two 8-bit opcode ids
+        assert sizes["imm26"] == 26
+        assert sizes["registers"] == 5     # jr's rs
+        assert streams.total_bits() == 16 + 26 + 5
+
+    def test_empty_image(self):
+        streams = split_streams(b"")
+        assert streams.opcodes == []
+        assert merge_streams(streams) == b""
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            split_streams(b"\x00\x00\x00")
+
+
+def test_generated_program_roundtrip(mips_program):
+    streams = split_streams(mips_program)
+    assert merge_streams(streams) == mips_program
+    # Streams must account for every instruction.
+    assert len(streams.opcodes) == len(mips_program) // 4
+
+
+def test_streams_smaller_than_word_stream(mips_program):
+    # The whole point of the split: total stream bits == 32 per
+    # instruction (it is a partition of the word's information).
+    streams = split_streams(mips_program)
+    per_instr = streams.total_bits() / (len(mips_program) // 4)
+    # opcode ids take 8 bits but replace 6-bit op + 6-bit funct + fmt
+    # bits; allow the bookkeeping band.
+    assert 16 <= per_instr <= 40

@@ -1,0 +1,96 @@
+"""Tests for SAMC stream assignment (contiguous / correlation / search)."""
+
+import pytest
+
+from repro.bitstream.fields import chunk_words
+from repro.core.samc.streams import (
+    contiguous_streams,
+    correlation_streams,
+    optimize_streams,
+    total_model_entropy,
+)
+
+
+class TestContiguous:
+    def test_four_by_eight(self):
+        streams = contiguous_streams(32, 4)
+        assert streams[0] == tuple(range(8))
+        assert streams[3] == tuple(range(24, 32))
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_streams(32, 5)
+
+    def test_single_stream(self):
+        assert contiguous_streams(8, 1) == [tuple(range(8))]
+
+
+class TestCorrelationStreams:
+    def _words(self):
+        # Bits 0 and 4 identical, bits 1 and 5 identical: correlation
+        # grouping should pair them.
+        import random
+
+        rng = random.Random(0)
+        words = []
+        for _ in range(300):
+            a, b = rng.randrange(2), rng.randrange(2)
+            c, d = rng.randrange(2), rng.randrange(2)
+            word = (a << 7) | (b << 6) | (c << 5) | (d << 4) \
+                 | (a << 3) | (b << 2) | (rng.randrange(2) << 1) | rng.randrange(2)
+            words.append(word)
+        return words
+
+    def test_partition_property(self):
+        streams = correlation_streams(self._words(), 8, 4)
+        positions = sorted(p for s in streams for p in s)
+        assert positions == list(range(8))
+
+    def test_groups_correlated_bits(self):
+        streams = correlation_streams(self._words(), 8, 4)
+        by_bit = {p: i for i, s in enumerate(streams) for p in s}
+        assert by_bit[0] == by_bit[4]  # the duplicated pairs end up together
+        assert by_bit[1] == by_bit[5]
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_streams([0], 8, 3)
+
+
+class TestOptimize:
+    def test_never_worse_than_initial(self, mips_program):
+        words = chunk_words(mips_program, 4)[:400]
+        initial = contiguous_streams(32, 4)
+        base = total_model_entropy(words, initial, 32)
+        _streams, best = optimize_streams(
+            words, 32, 4, iterations=60, initial=initial
+        )
+        assert best <= base + 1e-9
+
+    def test_result_is_partition(self, mips_program):
+        words = chunk_words(mips_program, 4)[:200]
+        streams, _ = optimize_streams(words, 32, 4, iterations=30)
+        assert sorted(p for s in streams for p in s) == list(range(32))
+
+    def test_deterministic_for_seed(self, mips_program):
+        words = chunk_words(mips_program, 4)[:200]
+        a = optimize_streams(words, 32, 4, iterations=25, seed=5)
+        b = optimize_streams(words, 32, 4, iterations=25, seed=5)
+        assert a == b
+
+
+class TestTotalEntropy:
+    def test_zero_for_constant_words(self):
+        words = [0xAB] * 50
+        assert total_model_entropy(words, [tuple(range(8))], 8) == 0.0
+
+    def test_weighted_by_stream_size(self):
+        # Splitting a word into two streams cannot *reduce* total beyond
+        # the one-stream first-order model... but it can't exceed the
+        # word width either.
+        import random
+
+        rng = random.Random(4)
+        words = [rng.randrange(256) for _ in range(500)]
+        total = total_model_entropy(words, contiguous_streams(8, 2), 8)
+        assert 0.0 <= total <= 8.0

@@ -1,0 +1,110 @@
+"""Tests for the standalone on-ROM image format."""
+
+import pytest
+
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.core.sadc import MipsSadcCodec, X86SadcCodec, sadc_decompress
+from repro.core.samc import SamcCodec, samc_decompress
+from repro.core.serialize import (
+    SerializationError,
+    deserialize_image,
+    load_image,
+    save_image,
+    serialize_image,
+)
+
+
+class TestSamcRoundtrip:
+    @pytest.mark.parametrize("mode", ["full", "full16", "pow2"])
+    def test_all_probability_modes(self, mips_program, mode):
+        codec = SamcCodec.for_mips(probability_mode=mode)
+        image = codec.compress(mips_program)
+        restored = deserialize_image(serialize_image(image))
+        assert samc_decompress(restored) == mips_program
+
+    def test_probability_tables_bit_exact(self, mips_program):
+        codec = SamcCodec.for_mips()
+        image = codec.compress(mips_program)
+        restored = deserialize_image(serialize_image(image))
+        original_model = image.metadata["model"]
+        restored_model = restored.metadata["model"]
+        for a, b in zip(original_model.stream_models,
+                        restored_model.stream_models):
+            assert (a.frozen_table == b.frozen_table).all()
+
+    def test_byte_mode(self, x86_program):
+        codec = SamcCodec.for_bytes()
+        image = codec.compress(x86_program)
+        restored = deserialize_image(serialize_image(image))
+        assert samc_decompress(restored) == x86_program
+
+    def test_header_fields_preserved(self, mips_program):
+        image = SamcCodec.for_mips().compress(mips_program)
+        restored = deserialize_image(serialize_image(image))
+        assert restored.original_size == image.original_size
+        assert restored.block_size == image.block_size
+        assert restored.model_bytes == image.model_bytes
+        assert restored.blocks == image.blocks
+        assert restored.compression_ratio == image.compression_ratio
+
+
+class TestSadcRoundtrip:
+    def test_mips(self, mips_program):
+        image = MipsSadcCodec().compress(mips_program)
+        restored = deserialize_image(serialize_image(image))
+        assert sadc_decompress(restored) == mips_program
+
+    def test_mips_with_bindings(self, mips_program_large):
+        image = MipsSadcCodec().compress(mips_program_large)
+        has_bindings = any(
+            e.bound_regs or e.bound_imm16 or e.bound_imm26
+            for e in image.metadata["dictionary"].entries
+        )
+        assert has_bindings  # the serialiser must carry bindings
+        restored = deserialize_image(serialize_image(image))
+        assert sadc_decompress(restored) == mips_program_large
+
+    def test_x86(self, x86_program):
+        image = X86SadcCodec().compress(x86_program)
+        restored = deserialize_image(serialize_image(image))
+        assert sadc_decompress(restored) == x86_program
+
+
+class TestByteHuffmanRoundtrip:
+    def test_roundtrip(self, mips_program):
+        codec = ByteHuffmanCodec()
+        image = codec.compress(mips_program)
+        restored = deserialize_image(serialize_image(image))
+        assert codec.decompress(restored) == mips_program
+
+
+class TestFileIO:
+    def test_save_and_load(self, mips_program, tmp_path):
+        image = SamcCodec.for_mips().compress(mips_program)
+        path = str(tmp_path / "program.rcc")
+        written = save_image(image, path)
+        assert written > 0
+        restored = load_image(path)
+        assert samc_decompress(restored) == mips_program
+
+    def test_serialized_size_comparable_to_accounting(self, mips_program_large):
+        # The real byte format should land near the idealised accounting
+        # (payload + model + LAT) — within ~30%.
+        image = SamcCodec.for_mips().compress(mips_program_large)
+        data = serialize_image(image)
+        assert len(data) < image.total_bytes * 1.3
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            deserialize_image(b"XXXX" + b"\x00" * 32)
+
+    def test_truncated(self, mips_program):
+        data = serialize_image(SamcCodec.for_mips().compress(mips_program))
+        with pytest.raises(SerializationError):
+            deserialize_image(data[: len(data) // 2])
+
+    def test_unknown_algorithm_id(self):
+        with pytest.raises(SerializationError):
+            deserialize_image(b"RCC1" + b"\x09" + b"\x00" * 14)

@@ -1,0 +1,130 @@
+"""Tests for the synthetic SPEC95 workload generators."""
+
+import pytest
+
+from repro.bitstream.fields import chunk_words
+from repro.isa.mips.formats import decode as mips_decode
+from repro.isa.x86.formats import decode_all
+from repro.workloads.profiles import BENCHMARK_NAMES, SPEC95, get_profile
+from repro.workloads.sampling import ZipfSampler, weighted_choice
+from repro.workloads.suite import generate_benchmark, generate_suite
+
+
+class TestProfiles:
+    def test_all_eighteen_benchmarks(self):
+        assert len(SPEC95) == 18
+        assert "gcc" in BENCHMARK_NAMES and "tomcatv" in BENCHMARK_NAMES
+
+    def test_lookup(self):
+        assert get_profile("gcc").category == "int"
+        assert get_profile("swim").category == "fp"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+    def test_size_ordering(self):
+        # The paper notes compress is small and gcc large.
+        assert get_profile("compress").instructions < get_profile("gcc").instructions
+
+
+class TestSampling:
+    def test_zipf_skews_to_front(self):
+        import random
+
+        sampler = ZipfSampler(["a", "b", "c", "d"], skew=1.5)
+        rng = random.Random(0)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        assert draws.count("a") > draws.count("d")
+
+    def test_zipf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([], 1.0)
+
+    def test_weighted_choice_respects_weights(self):
+        import random
+
+        rng = random.Random(1)
+        draws = [weighted_choice(rng, [(99, "x"), (1, "y")]) for _ in range(500)]
+        assert draws.count("x") > 400
+
+
+class TestMipsGeneration:
+    def test_deterministic(self):
+        a = generate_benchmark("gcc", "mips", scale=0.1, seed=3).code
+        b = generate_benchmark("gcc", "mips", scale=0.1, seed=3).code
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_benchmark("gcc", "mips", scale=0.1, seed=3).code
+        b = generate_benchmark("gcc", "mips", scale=0.1, seed=4).code
+        assert a != b
+
+    def test_every_word_decodes(self, mips_program):
+        for word in chunk_words(mips_program, 4):
+            mips_decode(word)
+
+    def test_scale_controls_size(self):
+        small = generate_benchmark("perl", "mips", scale=0.1)
+        large = generate_benchmark("perl", "mips", scale=0.4)
+        assert large.size_bytes > small.size_bytes
+
+    def test_register_skew_visible(self, mips_program):
+        # $sp (29) must be among the most-used register fields.
+        from collections import Counter
+
+        counts = Counter()
+        for word in chunk_words(mips_program, 4):
+            counts[(word >> 21) & 31] += 1
+        top = [reg for reg, _n in counts.most_common(4)]
+        assert 29 in top
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate_benchmark("gcc", "mips", scale=0)
+
+    def test_bad_isa(self):
+        with pytest.raises(ValueError):
+            generate_benchmark("gcc", "sparc")
+
+
+class TestX86Generation:
+    def test_deterministic(self):
+        a = generate_benchmark("go", "x86", scale=0.1, seed=3).code
+        b = generate_benchmark("go", "x86", scale=0.1, seed=3).code
+        assert a == b
+
+    def test_decodes_exactly(self, x86_program):
+        instrs = decode_all(x86_program)
+        assert sum(i.length for i in instrs) == len(x86_program)
+
+    def test_denser_than_mips(self):
+        mips = generate_benchmark("ijpeg", "mips", scale=0.3)
+        x86 = generate_benchmark("ijpeg", "x86", scale=0.3)
+        assert x86.size_bytes < mips.size_bytes
+
+    def test_prologue_idiom_present(self, x86_program):
+        assert b"\x55\x89\xe5" in x86_program  # push ebp; mov ebp, esp
+
+
+class TestSuite:
+    def test_generate_suite_order(self):
+        programs = list(generate_suite("mips", scale=0.05,
+                                       names=("compress", "gcc")))
+        assert [p.name for p in programs] == ["compress", "gcc"]
+
+    def test_fp_benchmarks_use_cop1(self):
+        program = generate_benchmark("swim", "mips", scale=0.3)
+        has_cop1 = any(
+            (word >> 26) in (0x11, 0x31, 0x35, 0x39, 0x3D)
+            for word in chunk_words(program.code, 4)
+        )
+        assert has_cop1
+
+    def test_int_benchmarks_avoid_cop1_arith(self):
+        program = generate_benchmark("go", "mips", scale=0.3)
+        cop1_arith = sum(
+            1 for word in chunk_words(program.code, 4)
+            if (word >> 26) == 0x11
+        )
+        assert cop1_arith == 0

@@ -1,0 +1,133 @@
+"""Tests for the structural IA-32 model (length decoding, grammar)."""
+
+import pytest
+
+from repro.isa.x86.formats import (
+    X86DecodeError,
+    X86Instruction,
+    decode_all,
+    decode_one,
+    modrm_fields,
+)
+
+
+class TestDecodeOne:
+    def test_single_byte_nop(self):
+        instr = decode_one(b"\x90")
+        assert instr.opcode == b"\x90"
+        assert instr.length == 1
+        assert instr.modrm is None
+
+    def test_push_ebp_mov_ebp_esp(self):
+        # The canonical prologue: 55 / 89 E5.
+        code = b"\x55\x89\xe5"
+        instrs = decode_all(code)
+        assert [i.length for i in instrs] == [1, 2]
+        assert instrs[1].modrm == 0xE5
+
+    def test_mod01_disp8(self):
+        # mov eax, [ebp-4]  => 8B 45 FC
+        instr = decode_one(b"\x8b\x45\xfc")
+        assert instr.modrm == 0x45
+        assert instr.disp == b"\xfc"
+        assert instr.length == 3
+
+    def test_mod10_disp32(self):
+        instr = decode_one(b"\x8b\x85\x00\x01\x00\x00")
+        assert instr.disp == b"\x00\x01\x00\x00"
+        assert instr.length == 6
+
+    def test_mod00_rm101_disp32(self):
+        # mov eax, [absolute]
+        instr = decode_one(b"\x8b\x05\x44\x33\x22\x11")
+        assert instr.disp == b"\x44\x33\x22\x11"
+
+    def test_sib_byte(self):
+        # mov eax, [esp]  => 8B 04 24
+        instr = decode_one(b"\x8b\x04\x24")
+        assert instr.sib == 0x24
+        assert instr.length == 3
+
+    def test_sib_base101_mod00_disp32(self):
+        # SIB with base=101 and mod=00 forces disp32.
+        instr = decode_one(b"\x8b\x04\x8d\x01\x02\x03\x04")
+        assert instr.sib == 0x8D
+        assert len(instr.disp) == 4
+
+    def test_imm32(self):
+        instr = decode_one(b"\xb8\x78\x56\x34\x12")  # mov eax, imm32
+        assert instr.imm == b"\x78\x56\x34\x12"
+        assert instr.length == 5
+
+    def test_operand_size_prefix_shrinks_imm(self):
+        instr = decode_one(b"\x66\xb8\x34\x12")  # mov ax, imm16
+        assert instr.prefixes == b"\x66"
+        assert instr.imm == b"\x34\x12"
+        assert instr.length == 4
+
+    def test_two_byte_opcode(self):
+        instr = decode_one(b"\x0f\xb6\xc0")  # movzx eax, al
+        assert instr.opcode == b"\x0f\xb6"
+        assert instr.modrm == 0xC0
+
+    def test_jcc_rel32(self):
+        instr = decode_one(b"\x0f\x84\x00\x01\x00\x00")
+        assert instr.imm == b"\x00\x01\x00\x00"
+
+    def test_group3_test_has_imm(self):
+        # F7 /0 = test r/m32, imm32
+        instr = decode_one(b"\xf7\xc0\x01\x00\x00\x00")
+        assert len(instr.imm) == 4
+
+    def test_group3_neg_has_no_imm(self):
+        # F7 /3 = neg r/m32
+        instr = decode_one(b"\xf7\xd8")
+        assert instr.imm == b""
+        assert instr.length == 2
+
+    def test_ret_imm16(self):
+        instr = decode_one(b"\xc2\x08\x00")
+        assert instr.imm == b"\x08\x00"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(X86DecodeError):
+            decode_one(b"\xf4")  # hlt: not in the modelled subset
+
+    def test_truncated_modrm_rejected(self):
+        with pytest.raises(X86DecodeError):
+            decode_one(b"\x8b")
+
+    def test_truncated_imm_rejected(self):
+        with pytest.raises(X86DecodeError):
+            decode_one(b"\xb8\x01\x02")
+
+    def test_offset_parameter(self):
+        code = b"\x90\x55"
+        assert decode_one(code, 1).opcode == b"\x55"
+
+
+class TestEncode:
+    def test_encode_inverts_decode(self):
+        samples = [
+            b"\x55", b"\x89\xe5", b"\x8b\x45\xfc", b"\x8b\x04\x24",
+            b"\xb8\x01\x00\x00\x00", b"\x0f\xb6\xc0", b"\xc3",
+            b"\x66\xb8\x34\x12", b"\x83\xec\x18",
+        ]
+        for raw in samples:
+            assert decode_one(raw).encode() == raw
+
+    def test_length_property(self):
+        instr = X86Instruction(opcode=b"\x8b", modrm=0x45, disp=b"\xfc")
+        assert instr.length == 3
+        assert len(instr.encode()) == 3
+
+
+def test_decode_all_covers_whole_image(x86_program):
+    instrs = decode_all(x86_program)
+    assert sum(i.length for i in instrs) == len(x86_program)
+    assert b"".join(i.encode() for i in instrs) == x86_program
+
+
+def test_modrm_fields():
+    assert modrm_fields(0xE5) == (3, 4, 5)
+    assert modrm_fields(0x45) == (1, 0, 5)

@@ -1,0 +1,71 @@
+"""Tests for the x86 three-stream split (opcode / ModRM+SIB / imm+disp)."""
+
+from repro.isa.x86.formats import decode_all
+from repro.isa.x86.streams import merge_streams, split_streams
+
+
+def test_stream_partition_accounts_every_byte(x86_program):
+    streams = split_streams(x86_program)
+    total = (
+        len(streams.opcodes) + len(streams.modrm_sib) + len(streams.imm_disp)
+    )
+    assert total == len(x86_program)
+
+
+def test_merge_inverts_split(x86_program):
+    assert merge_streams(split_streams(x86_program)) == x86_program
+
+
+def test_merge_inverts_split_large(x86_program_large):
+    assert merge_streams(split_streams(x86_program_large)) == x86_program_large
+
+
+def test_handcrafted_sequence():
+    code = (
+        b"\x55"                      # push ebp
+        b"\x89\xe5"                  # mov ebp, esp
+        b"\x83\xec\x18"              # sub esp, 24
+        b"\x8b\x45\xfc"              # mov eax, [ebp-4]
+        b"\x8b\x04\x24"              # mov eax, [esp] (SIB)
+        b"\x0f\xb6\xc0"              # movzx eax, al
+        b"\xe8\x10\x00\x00\x00"      # call rel32
+        b"\xc9"                      # leave
+        b"\xc3"                      # ret
+    )
+    streams = split_streams(code)
+    # opcode entries: one per instruction (no prefixes here).
+    assert len(streams.opcode_lengths) == 9
+    assert streams.opcode_lengths[5] == 2  # the 0F B6 two-byte opcode
+    # ModRM+SIB: 89/83/8b/8b(+sib)/0fb6 -> 1+1+1+2+1 = 6 bytes.
+    assert len(streams.modrm_sib) == 6
+    # imm+disp: imm8 + disp8 + imm32 = 1 + 1 + 4 = 6 bytes.
+    assert len(streams.imm_disp) == 6
+    assert merge_streams(streams) == code
+
+
+def test_prefixed_instruction_roundtrip():
+    code = b"\x66\xb8\x34\x12" + b"\x90"
+    streams = split_streams(code)
+    assert streams.opcode_lengths[0] == 2  # prefix + opcode
+    assert merge_streams(streams) == code
+
+
+def test_bit_sizes(x86_program):
+    streams = split_streams(x86_program)
+    sizes = streams.bit_sizes()
+    assert sizes["opcodes"] == 8 * len(streams.opcodes)
+    assert streams.total_bits() == 8 * len(x86_program)
+
+
+def test_empty_image():
+    streams = split_streams(b"")
+    assert merge_streams(streams) == b""
+
+
+def test_opcode_stream_dominates(x86_program):
+    # Sanity on stream proportions: opcode bytes are the most numerous
+    # single stream for typical integer code.
+    streams = split_streams(x86_program)
+    n_instr = len(decode_all(x86_program))
+    assert len(streams.opcode_lengths) == n_instr
+    assert len(streams.opcodes) >= n_instr  # at least one byte each
