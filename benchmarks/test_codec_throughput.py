@@ -1,8 +1,11 @@
-"""Codec throughput microbenchmarks (timed by pytest-benchmark).
+"""Codec and pipeline throughput microbenchmarks (pytest-benchmark).
 
-Not a paper table — engineering numbers for the library itself:
-compression and decompression speed of each block-oriented codec on a
-fixed mid-size program.  These run multiple rounds (real timing).
+Not a paper table — engineering numbers for the library itself: the raw
+compression/decompression speed of each block-oriented codec on a fixed
+mid-size program, plus the experiment pipeline's overheads — a cold
+sweep (every job recompressed), a warm sweep (pure cache-hit path), and
+the process-pool dispatch cost.  These run multiple rounds (real
+timing).
 """
 
 import pytest
@@ -12,6 +15,7 @@ from repro.baselines.gzipish import gzipish_compress
 from repro.baselines.lzw import lzw_compress
 from repro.core.sadc import MipsSadcCodec
 from repro.core.samc import SamcCodec
+from repro.pipeline import ExperimentJob, NullCache, ResultCache, run_pipeline
 from repro.workloads.suite import generate_benchmark
 
 
@@ -87,3 +91,47 @@ def test_byte_huffman_block_decompress_throughput(benchmark, code):
 
     block = benchmark(refill)
     assert block == code[96:128]
+
+
+# ---------------------------------------------------------------------------
+# Pipeline overheads: cold sweep, warm (cached) sweep, pool dispatch.
+
+_PIPELINE_JOBS = [
+    ExperimentJob(benchmark, "mips", algorithm, scale=0.2, seed=1)
+    for benchmark in ("compress", "xlisp")
+    for algorithm in ("compress", "huffman")
+]
+
+
+@pytest.mark.benchmark(group="throughput-pipeline")
+def test_pipeline_cold_sweep_throughput(benchmark):
+    """Uncached serial sweep: pure codec time plus runner bookkeeping."""
+    def cold():
+        return run_pipeline(_PIPELINE_JOBS, max_workers=1, cache=NullCache())
+
+    report = benchmark.pedantic(cold, rounds=3)
+    assert report.recompressions == len(_PIPELINE_JOBS)
+
+
+@pytest.mark.benchmark(group="throughput-pipeline")
+def test_pipeline_warm_cache_throughput(benchmark):
+    """Fully cached sweep: fingerprint + lookup cost, zero recompressions."""
+    cache = ResultCache()
+    run_pipeline(_PIPELINE_JOBS, max_workers=1, cache=cache)
+
+    def warm():
+        return run_pipeline(_PIPELINE_JOBS, max_workers=1, cache=cache)
+
+    report = benchmark(warm)
+    assert report.hits == len(_PIPELINE_JOBS)
+    assert report.recompressions == 0
+
+
+@pytest.mark.benchmark(group="throughput-pipeline")
+def test_pipeline_pool_dispatch_throughput(benchmark):
+    """Process-pool sweep: measures fan-out/pickling overhead vs serial."""
+    def pooled():
+        return run_pipeline(_PIPELINE_JOBS, max_workers=2, cache=NullCache())
+
+    report = benchmark.pedantic(pooled, rounds=2)
+    assert report.recompressions == len(_PIPELINE_JOBS)

@@ -8,6 +8,8 @@ from repro.analysis.experiments import (
     compression_ratio,
     run_benchmark,
     run_suite,
+    run_suite_with_report,
+    suite_jobs,
 )
 from repro.analysis.entropy_report import EntropyReport, analyze_mips
 from repro.analysis.tables import format_averages, format_mapping, format_suite
@@ -25,4 +27,6 @@ __all__ = [
     "format_suite",
     "run_benchmark",
     "run_suite",
+    "run_suite_with_report",
+    "suite_jobs",
 ]

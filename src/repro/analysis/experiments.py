@@ -2,19 +2,29 @@
 
 Each figure is "for every benchmark, the ratio compressed/original under
 each algorithm"; :func:`run_suite` produces exactly those series, and
-:func:`average_ratios` collapses them into the Figure-9 averages.
+:func:`average_ratios` collapses them into the Figure-9 averages.  The
+sweeps run on :mod:`repro.pipeline`, so they parallelise across
+processes (``jobs``) and memoise through the content-addressed cache;
+``jobs=1`` with no cache directory is the serial reference path and
+produces bit-identical figures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.byte_huffman import ByteHuffmanCodec
 from repro.baselines.gzipish import gzipish_compress
 from repro.baselines.lzw import lzw_compress
 from repro.core.sadc import MipsSadcCodec, X86SadcCodec
 from repro.core.samc import SamcCodec
+from repro.pipeline import (
+    ExperimentJob,
+    PipelineReport,
+    ResultCache,
+    run_pipeline,
+)
 from repro.workloads.suite import Program, generate_benchmark
 from repro.workloads.profiles import BENCHMARK_NAMES
 
@@ -33,6 +43,10 @@ def compression_ratio(
     LAT; block-oriented algorithms (huffman, SAMC, SADC) report the full
     honest total including model tables and the compacted LAT.
     """
+    if block_size <= 0:
+        raise ValueError(
+            f"block_size must be a positive number of bytes, got {block_size}"
+        )
     if not code:
         return 1.0
     if algorithm == "compress":
@@ -81,6 +95,56 @@ def run_benchmark(
     return row
 
 
+def suite_jobs(
+    isa: str,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    scale: float = 1.0,
+    block_size: int = 32,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[ExperimentJob]:
+    """The job list for one figure sweep, benchmark-major order."""
+    return [
+        ExperimentJob(
+            benchmark=name,
+            isa=isa,
+            algorithm=algorithm,
+            block_size=block_size,
+            scale=scale,
+            seed=seed,
+        )
+        for name in (names or BENCHMARK_NAMES)
+        for algorithm in algorithms
+    ]
+
+
+def run_suite_with_report(
+    isa: str,
+    algorithms: Sequence[str] = FIGURE_ALGORITHMS,
+    scale: float = 1.0,
+    block_size: int = 32,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[List[SuiteRow], PipelineReport]:
+    """The full figure sweep, plus the pipeline's timing/cache report."""
+    job_list = suite_jobs(isa, algorithms, scale, block_size, names, seed)
+    report = run_pipeline(job_list, max_workers=jobs, cache=cache)
+    rows: List[SuiteRow] = []
+    by_benchmark: Dict[str, SuiteRow] = {}
+    for result in report.results:
+        row = by_benchmark.get(result.job.benchmark)
+        if row is None:
+            row = SuiteRow(
+                benchmark=result.job.benchmark, size_bytes=result.bytes_in
+            )
+            by_benchmark[result.job.benchmark] = row
+            rows.append(row)
+        row.ratios[result.job.algorithm] = result.ratio
+    return rows, report
+
+
 def run_suite(
     isa: str,
     algorithms: Sequence[str] = FIGURE_ALGORITHMS,
@@ -88,12 +152,13 @@ def run_suite(
     block_size: int = 32,
     names: Optional[Sequence[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[SuiteRow]:
     """The full figure sweep: every benchmark × every algorithm."""
-    rows = []
-    for name in names or BENCHMARK_NAMES:
-        program = generate_benchmark(name, isa, scale=scale, seed=seed)
-        rows.append(run_benchmark(program, algorithms, block_size))
+    rows, _report = run_suite_with_report(
+        isa, algorithms, scale, block_size, names, seed, jobs=jobs, cache=cache
+    )
     return rows
 
 

@@ -19,7 +19,7 @@ from repro.analysis.experiments import (
     FIGURE_ALGORITHMS,
     average_ratios,
     compression_ratio,
-    run_suite,
+    run_suite_with_report,
 )
 from repro.analysis.tables import format_averages, format_mapping, format_suite
 from repro.baselines.byte_huffman import ByteHuffmanCodec
@@ -39,6 +39,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--block-size", type=int, default=32)
 
 
+def _add_pipeline(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = serial reference path)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist compression results, keyed by "
+                             "SHA-256(code image) + codec config")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable result caching entirely")
+
+
+def _make_cache(args: argparse.Namespace):
+    from repro.pipeline import NullCache, ResultCache
+
+    if args.no_cache:
+        return NullCache()
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_ratio(args: argparse.Namespace) -> int:
     program = generate_benchmark(args.benchmark, args.isa, args.scale, args.seed)
     ratio = compression_ratio(program.code, args.algorithm, args.isa, args.block_size)
@@ -48,31 +66,43 @@ def _cmd_ratio(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    rows = run_suite(
+    rows, report = run_suite_with_report(
         args.isa,
         algorithms=args.algorithms,
         scale=args.scale,
         block_size=args.block_size,
         names=args.benchmarks or None,
         seed=args.seed,
+        jobs=args.jobs,
+        cache=_make_cache(args),
     )
     print(format_suite(rows, title=f"Compression ratios — {args.isa}"))
+    # Timing/cache counters go to stderr: stdout stays bit-identical
+    # across --jobs widths and cache states.
+    print(report.format(), file=sys.stderr)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
     if args.name in ("fig7", "fig8"):
         isa = "mips" if args.name == "fig7" else "x86"
-        rows = run_suite(isa, FIGURE_ALGORITHMS, scale=args.scale, seed=args.seed)
+        rows, report = run_suite_with_report(
+            isa, FIGURE_ALGORITHMS, scale=args.scale, seed=args.seed,
+            jobs=args.jobs, cache=cache,
+        )
         print(format_suite(rows, title=f"Figure {args.name[-1]} — {isa} ratios"))
+        print(report.format(), file=sys.stderr)
         return 0
     if args.name == "fig9":
         averages = {}
         for isa in ("mips", "x86"):
-            rows = run_suite(
-                isa, ("huffman", "SAMC", "SADC"), scale=args.scale, seed=args.seed
+            rows, report = run_suite_with_report(
+                isa, ("huffman", "SAMC", "SADC"), scale=args.scale,
+                seed=args.seed, jobs=args.jobs, cache=cache,
             )
             averages[isa] = average_ratios(rows)
+            print(report.format(), file=sys.stderr)
         print(format_averages(averages, title="Figure 9 — average ratios"))
         return 0
     print(f"unknown figure {args.name!r}", file=sys.stderr)
@@ -167,12 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--algorithms", nargs="+", choices=ALL_ALGORITHMS,
                        default=list(FIGURE_ALGORITHMS))
     suite.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES)
+    _add_pipeline(suite)
     suite.set_defaults(func=_cmd_suite)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=("fig7", "fig8", "fig9"))
     figure.add_argument("--scale", type=float, default=1.0)
     figure.add_argument("--seed", type=int, default=0)
+    _add_pipeline(figure)
     figure.set_defaults(func=_cmd_figure)
 
     simulate = sub.add_parser("simulate", help="memory-system simulation")

@@ -1,0 +1,36 @@
+"""Parallel experiment pipeline with content-addressed caching.
+
+The figure sweeps are embarrassingly parallel — every (benchmark,
+algorithm) cell is an independent pure function of its spec — and
+heavily redundant across invocations, since the same deterministic
+code images get recompressed again and again.  This package exploits
+both: :func:`run_pipeline` fans jobs across a process pool and a
+two-tier (memo + disk) cache keyed by SHA-256 of the code image plus a
+canonical codec-config fingerprint, reporting per-job metrics through
+:class:`PipelineReport`.
+"""
+
+from repro.pipeline.cache import CacheStats, NullCache, ResultCache
+from repro.pipeline.executor import ExperimentJob, execute_job, run_pipeline
+from repro.pipeline.fingerprint import (
+    CODEC_SCHEMA_VERSION,
+    canonical_config,
+    code_digest,
+    job_fingerprint,
+)
+from repro.pipeline.report import JobResult, PipelineReport
+
+__all__ = [
+    "CODEC_SCHEMA_VERSION",
+    "CacheStats",
+    "ExperimentJob",
+    "JobResult",
+    "NullCache",
+    "PipelineReport",
+    "ResultCache",
+    "canonical_config",
+    "code_digest",
+    "execute_job",
+    "job_fingerprint",
+    "run_pipeline",
+]

@@ -1,0 +1,175 @@
+"""Content-addressed result cache: in-process memo + optional disk tier.
+
+Lookups go memo → disk → miss.  Disk entries are one JSON file per
+fingerprint, sharded by the first two hex digits (``ab/abcdef….json``)
+so a large cache never piles thousands of files into one directory.
+Writes are atomic (temp file + ``os.replace``), so a crashed or
+concurrent writer can never leave a torn entry — and even if something
+else corrupts a file, :meth:`ResultCache.get` treats *any* unreadable or
+mismatched entry as a miss (counted in ``stats.corrupt``), deletes it,
+and lets the pipeline recompute.  The cache never raises on bad data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Disk entry envelope version (independent of the codec schema version,
+#: which lives inside the fingerprint itself).
+ENTRY_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by tier, plus corruption recoveries."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+class ResultCache:
+    """Two-tier content-addressed cache for pipeline job payloads.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the persistent tier.  ``None`` keeps the cache
+        purely in-process (memoisation only).
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            # Create (and thereby validate) the directory up front: a
+            # bad path must fail here, not after the compute is done.
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+            except (OSError, NotADirectoryError) as error:
+                raise ValueError(
+                    f"cache directory {str(self.cache_dir)!r} is not usable: "
+                    f"{error}"
+                ) from error
+        self.stats = CacheStats()
+        self._memo: Dict[str, Dict[str, Any]] = {}
+
+    # -- paths ----------------------------------------------------------
+
+    def entry_path(self, fingerprint: str) -> Optional[Path]:
+        """Disk location of one fingerprint's entry (None when memory-only)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Payload for ``fingerprint`` or None; never raises on bad entries."""
+        payload = self._memo.get(fingerprint)
+        if payload is not None:
+            self.stats.memory_hits += 1
+            return dict(payload)
+        payload = self._read_disk(fingerprint)
+        if payload is not None:
+            self.stats.disk_hits += 1
+            self._memo[fingerprint] = payload
+            return dict(payload)
+        self.stats.misses += 1
+        return None
+
+    def _read_disk(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        path = self.entry_path(fingerprint)
+        if path is None or not path.is_file():
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                not isinstance(entry, dict)
+                or entry.get("version") != ENTRY_VERSION
+                or entry.get("fingerprint") != fingerprint
+                or not isinstance(entry.get("payload"), dict)
+            ):
+                raise ValueError("malformed cache entry")
+            return entry["payload"]
+        except (OSError, ValueError):
+            self.stats.corrupt += 1
+            self._discard(path)
+            return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # unreadable *and* undeletable: recompute will overwrite
+
+    # -- store ----------------------------------------------------------
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        """Record a computed payload in both tiers."""
+        self._memo[fingerprint] = dict(payload)
+        self.stats.stores += 1
+        path = self.entry_path(fingerprint)
+        if path is None:
+            return
+        entry = {
+            "version": ENTRY_VERSION,
+            "fingerprint": fingerprint,
+            "payload": payload,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (disk entries survive)."""
+        self._memo.clear()
+
+
+class NullCache(ResultCache):
+    """A cache that never stores or hits — the ``--no-cache`` path."""
+
+    def __init__(self) -> None:
+        super().__init__(cache_dir=None)
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        pass

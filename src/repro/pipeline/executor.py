@@ -1,0 +1,200 @@
+"""The job-graph runner behind the Figure 7-9 sweeps.
+
+A job is one ``(benchmark, isa, algorithm, block_size, scale, seed)``
+tuple; running it means generating the benchmark image (deterministic)
+and measuring one algorithm's compression ratio on it.  The runner:
+
+1. generates each *distinct* program once (jobs for the same benchmark
+   share the image across algorithms),
+2. resolves every job against the content-addressed cache,
+3. fans the misses out across a ``ProcessPoolExecutor`` (``max_workers
+   == 1`` stays fully in-process — the serial degenerate case), and
+4. returns a :class:`~repro.pipeline.report.PipelineReport` with the
+   per-job metrics and cache counters.
+
+Ratios are pure functions of the job spec, so serial and parallel runs
+are bit-identical by construction; the tests pin that property.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.pipeline.cache import NullCache, ResultCache
+from repro.pipeline.fingerprint import job_fingerprint
+from repro.pipeline.report import JobResult, PipelineReport
+
+#: Payload schema stored in the cache for each completed job.
+_PAYLOAD_KEYS = frozenset({"ratio", "bytes_in", "bytes_out"})
+
+
+@dataclass(frozen=True, order=True)
+class ExperimentJob:
+    """One cell of a figure sweep."""
+
+    benchmark: str
+    isa: str
+    algorithm: str
+    block_size: int = 32
+    scale: float = 1.0
+    seed: int = 0
+
+    def program_key(self) -> Tuple[str, str, float, int]:
+        """Key identifying the generated code image this job consumes."""
+        return (self.benchmark, self.isa, self.scale, self.seed)
+
+    def fingerprint(self, code: bytes) -> str:
+        """Content-addressed cache identity of this job on ``code``."""
+        return job_fingerprint(code, self.algorithm, self.isa, self.block_size)
+
+
+def _generate_code(job: ExperimentJob) -> bytes:
+    # Imported lazily: repro.analysis.experiments sits on top of this
+    # module, and the workload generator drags in the full ISA stack.
+    from repro.workloads.suite import generate_benchmark
+
+    return generate_benchmark(
+        job.benchmark, job.isa, scale=job.scale, seed=job.seed
+    ).code
+
+
+def execute_job(job: ExperimentJob, code: bytes) -> Dict[str, Any]:
+    """Compress one image under one config; the pool worker entry point.
+
+    Returns a JSON-serialisable payload so the result can go straight
+    into the disk cache.
+    """
+    from repro.analysis.experiments import compression_ratio
+
+    started = time.perf_counter()
+    ratio = compression_ratio(code, job.algorithm, job.isa, job.block_size)
+    elapsed = time.perf_counter() - started
+    return {
+        "ratio": ratio,
+        "bytes_in": len(code),
+        "bytes_out": round(ratio * len(code)),
+        "wall_time": elapsed,
+    }
+
+
+def _valid_payload(payload: Optional[Dict[str, Any]]) -> bool:
+    return payload is not None and _PAYLOAD_KEYS.issubset(payload)
+
+
+def run_pipeline(
+    jobs: List[ExperimentJob],
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> PipelineReport:
+    """Run a batch of experiment jobs, parallel across processes.
+
+    Parameters
+    ----------
+    jobs:
+        Job specs; results come back in the same order.
+    max_workers:
+        Process-pool width.  ``1`` runs everything inline (no pool, no
+        pickling) and is the reference the parallel path must match.
+    cache:
+        A :class:`ResultCache` (or :class:`NullCache` to disable).
+        Defaults to a fresh in-process memo, which still deduplicates
+        identical jobs within the batch.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    cache = cache if cache is not None else ResultCache()
+    started = time.perf_counter()
+
+    # One generation per distinct program, shared across algorithms.
+    programs: Dict[Tuple[str, str, float, int], bytes] = {}
+    for job in jobs:
+        key = job.program_key()
+        if key not in programs:
+            programs[key] = _generate_code(job)
+
+    fingerprints = [job.fingerprint(programs[job.program_key()]) for job in jobs]
+
+    # Resolve against the cache; collect the misses to compute.
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    pending: List[int] = []
+    resolved: Dict[str, Dict[str, Any]] = {}
+    for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
+        if fingerprint in resolved:  # duplicate job inside this batch
+            results[index] = _hit_result(job, fingerprint, resolved[fingerprint])
+            continue
+        payload = cache.get(fingerprint)
+        if _valid_payload(payload):
+            resolved[fingerprint] = payload
+            results[index] = _hit_result(job, fingerprint, payload)
+        else:
+            pending.append(index)
+
+    # Compute the misses — inline at width 1, process pool otherwise.
+    unique_pending: Dict[str, int] = {}
+    for index in pending:
+        unique_pending.setdefault(fingerprints[index], index)
+    computed: Dict[str, Dict[str, Any]] = {}
+    work = [
+        (fingerprints[index], jobs[index], programs[jobs[index].program_key()])
+        for index in unique_pending.values()
+    ]
+    if max_workers == 1 or len(work) <= 1:
+        for fingerprint, job, code in work:
+            computed[fingerprint] = execute_job(job, code)
+    else:
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
+            futures = [
+                (fingerprint, pool.submit(execute_job, job, code))
+                for fingerprint, job, code in work
+            ]
+            for fingerprint, future in futures:
+                computed[fingerprint] = future.result()
+
+    for fingerprint, payload in computed.items():
+        cache.put(fingerprint, payload)
+    for index in pending:
+        fingerprint = fingerprints[index]
+        payload = computed[fingerprint]
+        results[index] = JobResult(
+            job=jobs[index],
+            fingerprint=fingerprint,
+            ratio=payload["ratio"],
+            bytes_in=payload["bytes_in"],
+            bytes_out=payload["bytes_out"],
+            wall_time=payload.get("wall_time", 0.0),
+            cache_hit=False,
+        )
+
+    return PipelineReport(
+        results=[result for result in results if result is not None],
+        cache_stats=cache.stats.as_dict(),
+        recompressions=len(computed),
+        total_wall_time=time.perf_counter() - started,
+        max_workers=max_workers,
+    )
+
+
+def _hit_result(
+    job: ExperimentJob, fingerprint: str, payload: Dict[str, Any]
+) -> JobResult:
+    return JobResult(
+        job=job,
+        fingerprint=fingerprint,
+        ratio=payload["ratio"],
+        bytes_in=payload["bytes_in"],
+        bytes_out=payload["bytes_out"],
+        wall_time=0.0,
+        cache_hit=True,
+    )
+
+
+__all__ = [
+    "ExperimentJob",
+    "NullCache",
+    "ResultCache",
+    "execute_job",
+    "run_pipeline",
+]

@@ -1,0 +1,86 @@
+"""Pipeline run accounting: per-job metrics and the roll-up report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # circular at runtime: executor imports this module
+    from repro.pipeline.executor import ExperimentJob
+
+
+@dataclass
+class JobResult:
+    """One job's outcome: the ratio plus where it came from and what it cost."""
+
+    job: "ExperimentJob"
+    fingerprint: str
+    ratio: float
+    bytes_in: int
+    bytes_out: int
+    wall_time: float
+    cache_hit: bool
+
+
+@dataclass
+class PipelineReport:
+    """Everything a pipeline run measured, in submission order."""
+
+    results: List[JobResult] = field(default_factory=list)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Jobs actually compressed this run (cache misses after batch dedup).
+    recompressions: int = 0
+    total_wall_time: float = 0.0
+    max_workers: int = 1
+
+    @property
+    def job_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for result in self.results if result.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        return self.job_count - self.hits
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(result.bytes_in for result in self.results)
+
+    @property
+    def bytes_out(self) -> int:
+        return sum(result.bytes_out for result in self.results)
+
+    @property
+    def compute_time(self) -> float:
+        """Wall time spent inside codecs (summed across jobs/workers)."""
+        return sum(result.wall_time for result in self.results)
+
+    def ratios(self) -> List[float]:
+        """Per-job ratios, in submission order."""
+        return [result.ratio for result in self.results]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "jobs": self.job_count,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "recompressions": self.recompressions,
+            "corrupt_entries": self.cache_stats.get("corrupt", 0),
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "workers": self.max_workers,
+            "wall_time_s": round(self.total_wall_time, 3),
+            "compute_time_s": round(self.compute_time, 3),
+        }
+
+    def format(self) -> str:
+        """One-line human summary (stderr material, not figure output)."""
+        return (
+            f"pipeline: {self.job_count} jobs, "
+            f"{self.hits} cache hits, {self.recompressions} recompressions, "
+            f"{self.max_workers} worker(s), "
+            f"{self.total_wall_time:.2f}s wall"
+        )

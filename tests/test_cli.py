@@ -57,7 +57,7 @@ class TestCommands:
         import repro.cli as cli
 
         monkeypatch.setattr(
-            cli, "run_suite",
+            cli, "run_suite_with_report",
             lambda isa, algorithms, **kw: _tiny_suite(isa, algorithms),
         )
         assert main(["figure", "fig9"]) == 0
@@ -65,6 +65,6 @@ class TestCommands:
 
 
 def _tiny_suite(isa, algorithms):
-    from repro.analysis.experiments import run_suite
+    from repro.analysis.experiments import run_suite_with_report
 
-    return run_suite(isa, algorithms, scale=0.1, names=("compress",))
+    return run_suite_with_report(isa, algorithms, scale=0.1, names=("compress",))

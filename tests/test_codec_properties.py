@@ -1,17 +1,29 @@
-"""Property-based round-trip tests over random canonical MIPS programs.
+"""Property-based round-trip tests over random canonical programs.
 
 The workload generator exercises realistic statistics; these tests
-exercise the *corners* — arbitrary canonical instruction sequences,
-including degenerate distributions hypothesis likes to find (all one
-opcode, maximal immediates, register 0 everywhere).
+exercise the *corners* — arbitrary canonical instruction sequences for
+both ISAs, including degenerate distributions hypothesis likes to find
+(all one opcode, maximal immediates, register 0 everywhere), plus the
+hand-picked degenerate inputs every codec must survive: the empty
+program, a single instruction, and all-identical blocks.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.sadc import MipsSadcCodec
+from repro.core.sadc import MipsSadcCodec, X86SadcCodec
 from repro.core.samc import SamcCodec
 from repro.isa.mips.formats import OPCODES, Instruction
+from repro.isa.x86.formats import (
+    IMM_NONE,
+    ONE_BYTE_TABLE,
+    TWO_BYTE_TABLE,
+    X86Instruction,
+    _disp_size,
+    _imm_size,
+    decode_all,
+)
 
 _FP_TO_HW = {"ft": "rt", "fs": "rd", "fd": "shamt"}
 
@@ -87,3 +99,148 @@ def test_serialization_roundtrip_property(code):
     image = SamcCodec.for_mips().compress(code)
     restored = deserialize_image(serialize_image(image))
     assert samc_decompress(restored) == code
+
+
+# ---------------------------------------------------------------------------
+# x86: canonical variable-length instruction sequences
+
+
+#: Every modelled opcode, one- and two-byte, as (opcode bytes, grammar).
+_X86_OPCODES = [
+    (bytes([opcode]), info) for opcode, info in sorted(ONE_BYTE_TABLE.items())
+] + [
+    (bytes([0x0F, opcode]), info)
+    for opcode, info in sorted(TWO_BYTE_TABLE.items())
+]
+
+
+@st.composite
+def canonical_x86_instruction(draw):
+    """One structurally valid x86 instruction, per the encoding grammar.
+
+    Mirrors the decoder's rules exactly: SIB only when mod != 3 and
+    rm == 4, displacement size from ModRM (+SIB base), immediate size
+    from the opcode grammar (ModRM.reg for the F6/F7 groups) honouring
+    the operand-size prefix.
+    """
+    opcode, info = draw(st.sampled_from(_X86_OPCODES))
+    # Bias toward no prefix; 0x66 flips iz immediates from 4 to 2 bytes.
+    prefixes = draw(st.sampled_from([b"", b"", b"", b"\x66"]))
+    modrm = sib = None
+    disp = b""
+    reg = 0
+    if info.has_modrm:
+        mod = draw(st.integers(0, 3))
+        reg = draw(st.integers(0, 7))
+        rm = draw(st.integers(0, 7))
+        modrm = (mod << 6) | (reg << 3) | rm
+        if mod != 3 and rm == 4:
+            sib = draw(st.integers(0, 255))
+        disp_len = _disp_size(mod, rm, sib)
+        disp = draw(st.binary(min_size=disp_len, max_size=disp_len))
+    imm_kind = info.imm
+    if info.imm_by_reg is not None:
+        imm_kind = info.imm_by_reg.get(reg, IMM_NONE)
+    imm_len = _imm_size(imm_kind, prefixes == b"\x66")
+    imm = draw(st.binary(min_size=imm_len, max_size=imm_len))
+    return X86Instruction(
+        prefixes=prefixes, opcode=opcode, modrm=modrm, sib=sib,
+        disp=disp, imm=imm,
+    )
+
+
+@st.composite
+def canonical_x86_program(draw, min_size=1, max_size=32):
+    instructions = draw(
+        st.lists(
+            canonical_x86_instruction(), min_size=min_size, max_size=max_size
+        )
+    )
+    return b"".join(instruction.encode() for instruction in instructions)
+
+
+@settings(max_examples=40, deadline=None)
+@given(canonical_x86_program())
+def test_x86_strategy_is_canonical(code):
+    """The strategy emits exactly what the length decoder recovers."""
+    decoded = decode_all(code)
+    assert b"".join(instruction.encode() for instruction in decoded) == code
+
+
+@settings(max_examples=25, deadline=None)
+@given(canonical_x86_program())
+def test_x86_sadc_roundtrip_property(code):
+    codec = X86SadcCodec(max_cycles=4)
+    image = codec.compress(code)
+    assert codec.decompress(image) == code
+
+
+@settings(max_examples=25, deadline=None)
+@given(canonical_x86_program())
+def test_samc_bytes_roundtrip_property(code):
+    """Byte-oriented SAMC (the CISC fallback) on canonical x86 images."""
+    codec = SamcCodec.for_bytes()
+    image = codec.compress(code)
+    assert codec.decompress(image) == code
+
+
+@settings(max_examples=15, deadline=None)
+@given(canonical_x86_program(min_size=12, max_size=40))
+def test_x86_sadc_block_random_access_property(code):
+    codec = X86SadcCodec(max_cycles=4)
+    image = codec.compress(code)
+    joined = b"".join(
+        codec.decompress_block(image, index)
+        for index in range(image.block_count())
+    )
+    assert joined == code
+
+
+# ---------------------------------------------------------------------------
+# Degenerate inputs, both ISAs
+
+
+def _codecs():
+    return [
+        ("samc-mips", SamcCodec.for_mips()),
+        ("samc-bytes", SamcCodec.for_bytes()),
+        ("sadc-mips", MipsSadcCodec(max_cycles=4)),
+        ("sadc-x86", X86SadcCodec(max_cycles=4)),
+    ]
+
+
+@pytest.mark.parametrize("name,codec", _codecs())
+def test_empty_program_roundtrip(name, codec):
+    image = codec.compress(b"")
+    assert codec.decompress(image) == b""
+
+
+@pytest.mark.parametrize(
+    "name,codec,code",
+    [
+        ("samc-mips", SamcCodec.for_mips(), b"\x00\x00\x00\x00"),  # nop
+        ("samc-bytes", SamcCodec.for_bytes(), b"\xc3"),  # ret
+        ("sadc-mips", MipsSadcCodec(max_cycles=4), b"\x00\x00\x00\x00"),
+        ("sadc-x86", X86SadcCodec(max_cycles=4), b"\xc3"),
+    ],
+)
+def test_single_instruction_roundtrip(name, codec, code):
+    image = codec.compress(code)
+    assert codec.decompress(image) == code
+
+
+@pytest.mark.parametrize(
+    "name,codec,unit",
+    [
+        # One instruction repeated so every 32-byte block is identical.
+        ("samc-mips", SamcCodec.for_mips(), b"\x00\x00\x08\x42"),
+        ("samc-bytes", SamcCodec.for_bytes(), b"\x55"),  # push ebp
+        ("sadc-mips", MipsSadcCodec(max_cycles=4), b"\x00\x00\x08\x42"),
+        ("sadc-x86", X86SadcCodec(max_cycles=4), b"\x55"),
+    ],
+)
+def test_all_identical_blocks_roundtrip(name, codec, unit):
+    code = unit * (256 // len(unit))  # 8 identical 32-byte blocks
+    image = codec.compress(code)
+    assert image.block_count() == 8
+    assert codec.decompress(image) == code
