@@ -5,15 +5,25 @@ Every figure/table benchmark runs the *real* experiment once
 2.0 — large enough for model tables to amortise, small enough to finish
 in minutes) and prints the regenerated series.  Results are also written
 to ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+
+Timed runs additionally emit ``benchmarks/results/BENCH_codec.json``:
+per-benchmark median latency (and ns/byte where the test records its
+input size via ``benchmark.extra_info["bytes"]``), so the performance
+trajectory is machine-readable across PRs.  Compare two snapshots with
+``python -m repro bench-diff old.json new.json``, which flags >15%
+regressions.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict
 
 import pytest
+
+from repro.fastpath import fastpath_enabled
 
 from repro.workloads.profiles import BENCHMARK_NAMES
 from repro.workloads.suite import generate_benchmark
@@ -59,3 +69,45 @@ def publish(results_dir: Path, name: str, text: str) -> None:
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+BENCH_JSON = "BENCH_codec.json"
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Dump per-benchmark medians to ``results/BENCH_codec.json``.
+
+    Only fires when pytest-benchmark actually timed something (it is a
+    no-op under ``--benchmark-disable``, so CI smoke runs never write
+    bogus zero timings).  ``ns_per_byte`` is included whenever the test
+    declared its input size through ``benchmark.extra_info["bytes"]``.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    results: Dict[str, Dict] = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None or getattr(stats, "data", None) in (None, []):
+            continue
+        median_ns = stats.median * 1e9
+        entry = {
+            "group": bench.group,
+            "median_ns": median_ns,
+            "rounds": stats.rounds,
+        }
+        nbytes = bench.extra_info.get("bytes")
+        if nbytes:
+            entry["bytes"] = nbytes
+            entry["ns_per_byte"] = median_ns / nbytes
+        results[bench.fullname] = entry
+    if not results:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": 1,
+        "fastpath": fastpath_enabled(),
+        "bench_scale": BENCH_SCALE,
+        "results": results,
+    }
+    (RESULTS_DIR / BENCH_JSON).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

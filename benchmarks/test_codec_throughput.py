@@ -27,6 +27,7 @@ def code() -> bytes:
 @pytest.mark.benchmark(group="throughput-compress")
 def test_samc_compress_throughput(benchmark, code):
     codec = SamcCodec.for_mips()
+    benchmark.extra_info["bytes"] = len(code)
     image = benchmark(codec.compress, code)
     assert image.payload_bytes > 0
 
@@ -34,6 +35,7 @@ def test_samc_compress_throughput(benchmark, code):
 @pytest.mark.benchmark(group="throughput-compress")
 def test_sadc_compress_throughput(benchmark, code):
     codec = MipsSadcCodec(max_cycles=16)
+    benchmark.extra_info["bytes"] = len(code)
     image = benchmark(codec.compress, code)
     assert image.payload_bytes > 0
 
@@ -41,18 +43,21 @@ def test_sadc_compress_throughput(benchmark, code):
 @pytest.mark.benchmark(group="throughput-compress")
 def test_byte_huffman_compress_throughput(benchmark, code):
     codec = ByteHuffmanCodec()
+    benchmark.extra_info["bytes"] = len(code)
     image = benchmark(codec.compress, code)
     assert image.payload_bytes > 0
 
 
 @pytest.mark.benchmark(group="throughput-compress")
 def test_lzw_compress_throughput(benchmark, code):
+    benchmark.extra_info["bytes"] = len(code)
     payload = benchmark(lzw_compress, code)
     assert payload
 
 
 @pytest.mark.benchmark(group="throughput-compress")
 def test_gzipish_compress_throughput(benchmark, code):
+    benchmark.extra_info["bytes"] = len(code)
     payload = benchmark(gzipish_compress, code)
     assert payload
 
@@ -65,6 +70,7 @@ def test_samc_block_decompress_throughput(benchmark, code):
     def refill():
         return codec.decompress_block(image, 3)
 
+    benchmark.extra_info["bytes"] = 32  # one cache block per refill
     block = benchmark(refill)
     assert block == code[96:128]
 
@@ -77,6 +83,7 @@ def test_sadc_block_decompress_throughput(benchmark, code):
     def refill():
         return codec.decompress_block(image, 3)
 
+    benchmark.extra_info["bytes"] = 32  # one cache block per refill
     block = benchmark(refill)
     assert block == code[96:128]
 
@@ -89,6 +96,7 @@ def test_byte_huffman_block_decompress_throughput(benchmark, code):
     def refill():
         return codec.decompress_block(image, 3)
 
+    benchmark.extra_info["bytes"] = 32  # one cache block per refill
     block = benchmark(refill)
     assert block == code[96:128]
 

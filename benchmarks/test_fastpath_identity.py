@@ -1,0 +1,85 @@
+"""Fastpath/reference output identity over the benchmark workload.
+
+CI's benchmark smoke step runs this (with ``--benchmark-disable``) under
+both ``REPRO_FASTPATH`` settings: every assertion here compares *coded
+bytes*, never timings, so the step stays deterministic on any runner.
+Each test flips the escape hatch in-process and checks the two paths
+produce byte-identical compressed output on the same mid-size program
+the throughput group times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gzipish import gzipish_compress, gzipish_decompress
+from repro.baselines.lzss import tokenize
+from repro.baselines.lzw import lzw_compress, lzw_decompress
+from repro.core.samc import SamcCodec
+from repro.workloads.suite import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def code() -> bytes:
+    return generate_benchmark("ijpeg", "mips", scale=0.5, seed=1).code
+
+
+@pytest.fixture(scope="module")
+def x86_code() -> bytes:
+    return generate_benchmark("ijpeg", "x86", scale=0.5, seed=1).code
+
+
+def _both_paths(monkeypatch, fn):
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    reference = fn()
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    fast = fn()
+    return reference, fast
+
+
+def test_samc_mips_identity(monkeypatch, code):
+    reference, fast = _both_paths(
+        monkeypatch, lambda: SamcCodec.for_mips().compress(code)
+    )
+    assert reference.blocks == fast.blocks
+    assert SamcCodec.for_mips().decompress(fast) == code
+
+
+def test_samc_bytes_identity(monkeypatch, x86_code):
+    reference, fast = _both_paths(
+        monkeypatch, lambda: SamcCodec.for_bytes().compress(x86_code)
+    )
+    assert reference.blocks == fast.blocks
+    assert SamcCodec.for_bytes().decompress(fast) == x86_code
+
+
+def test_samc_decode_identity(monkeypatch, code):
+    image = SamcCodec.for_mips().compress(code)
+
+    def decode_all():
+        codec = SamcCodec.for_mips()
+        return [
+            codec.decompress_block(image, index)
+            for index in range(image.block_count())
+        ]
+
+    reference, fast = _both_paths(monkeypatch, decode_all)
+    assert reference == fast
+    assert b"".join(fast) == code
+
+
+def test_lzss_tokenize_identity(monkeypatch, code):
+    reference, fast = _both_paths(monkeypatch, lambda: tokenize(code))
+    assert reference == fast
+
+
+def test_lzw_identity(monkeypatch, code):
+    reference, fast = _both_paths(monkeypatch, lambda: lzw_compress(code))
+    assert reference == fast
+    assert lzw_decompress(fast) == code
+
+
+def test_gzipish_identity(monkeypatch, code):
+    reference, fast = _both_paths(monkeypatch, lambda: gzipish_compress(code))
+    assert reference == fast
+    assert gzipish_decompress(fast) == code

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Union
 
+from repro.fastpath import fastpath_enabled
+
 WINDOW_SIZE = 32 * 1024
 MIN_MATCH = 3
 MAX_MATCH = 258
@@ -37,7 +39,21 @@ Token = Union[Literal, Match]
 
 
 def tokenize(data: bytes) -> List[Token]:
-    """Greedy LZSS parse of ``data`` into literals and matches."""
+    """Greedy LZSS parse of ``data`` into literals and matches.
+
+    Dispatches to the chunked-extension kernel in
+    :mod:`repro.fastpath.lz_kernel` unless ``REPRO_FASTPATH=0``; both
+    paths emit the identical token stream.
+    """
+    if fastpath_enabled():
+        from repro.fastpath.lz_kernel import tokenize_fast
+
+        return tokenize_fast(data)
+    return _tokenize_reference(data)
+
+
+def _tokenize_reference(data: bytes) -> List[Token]:
+    """The clarity-first parse the fastpath kernel is pinned against."""
     tokens: List[Token] = []
     chains: Dict[bytes, List[int]] = {}
     pos = 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.bitstream.io import BitReader, BitWriter
+from repro.fastpath import fastpath_enabled
 
 MIN_BITS = 9
 MAX_BITS = 16
@@ -23,7 +24,21 @@ FIRST_CODE = 257
 
 
 def lzw_compress(data: bytes) -> bytes:
-    """Compress with LZW (compress(1)-style variable-width codes)."""
+    """Compress with LZW (compress(1)-style variable-width codes).
+
+    Dispatches to the integer-keyed kernel in
+    :mod:`repro.fastpath.lz_kernel` unless ``REPRO_FASTPATH=0``; both
+    paths emit the identical code stream.
+    """
+    if fastpath_enabled():
+        from repro.fastpath.lz_kernel import lzw_compress_fast
+
+        return lzw_compress_fast(data)
+    return _lzw_compress_reference(data)
+
+
+def _lzw_compress_reference(data: bytes) -> bytes:
+    """The string-keyed parse the fastpath kernel is pinned against."""
     writer = BitWriter()
     # 16-bit big-endian length header so decompression is self-delimiting.
     writer.write_bits(len(data) & 0xFFFFFFFF, 32)

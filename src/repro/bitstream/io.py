@@ -6,6 +6,14 @@ MSB-first: the first bit written becomes the most significant bit of the
 first output byte.  This matches how the paper's decompression engine
 consumes compressed code 8 bits at a time (``val = (val << 8) | get_byte()``
 in the Section 3 pseudocode).
+
+The multi-bit primitives (:meth:`BitWriter.write_bits`,
+:meth:`BitWriter.write_bytes`, :meth:`BitReader.read_bits`,
+:meth:`BitReader.read_bytes`) are *batched*: they move whole words
+through a cached bit accumulator instead of looping bit by bit, which is
+what makes the Huffman/LZW/gzipish hot paths fast.  Argument validation
+happens once at these public entry points; the internal batch loops
+assume the invariant ``0 <= value < 2**width`` already holds.
 """
 
 from __future__ import annotations
@@ -35,7 +43,12 @@ class BitWriter:
         return len(self)
 
     def write_bit(self, bit: int) -> None:
-        """Append a single bit (0 or 1)."""
+        """Append a single bit (0 or 1).
+
+        This is the public boundary for single-bit writes, so the 0/1
+        check lives here (and only here): the batched writers below
+        validate their whole argument once and never re-check per bit.
+        """
         if bit not in (0, 1):
             raise ValueError(f"bit must be 0 or 1, got {bit!r}")
         self._current = (self._current << 1) | bit
@@ -46,21 +59,44 @@ class BitWriter:
             self._nbits = 0
 
     def write_bits(self, value: int, width: int) -> None:
-        """Append ``width`` bits of ``value``, most significant first."""
+        """Append ``width`` bits of ``value``, most significant first.
+
+        Validates once, then drains the accumulator a byte at a time —
+        no per-bit calls, so Huffman codewords and LZW codes land in one
+        pass.
+        """
         if width < 0:
             raise ValueError("width must be non-negative")
         if value < 0 or (width < value.bit_length()):
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        nbits = self._nbits + width
+        acc = (self._current << width) | value
+        buffer = self._buffer
+        while nbits >= 8:
+            nbits -= 8
+            buffer.append((acc >> nbits) & 0xFF)
+        self._current = acc & ((1 << nbits) - 1)
+        self._nbits = nbits
 
     def write_bytes(self, data: bytes) -> None:
-        """Append whole bytes (8 bits each, MSB-first)."""
+        """Append whole bytes (8 bits each, MSB-first).
+
+        Byte-aligned streams extend the buffer directly; unaligned ones
+        shift each byte through the cached accumulator (one append per
+        byte, not eight).
+        """
         if self._nbits == 0:
             self._buffer.extend(data)
-        else:
-            for byte in data:
-                self.write_bits(byte, 8)
+            return
+        nbits = self._nbits
+        acc = self._current
+        mask = (1 << nbits) - 1
+        append = self._buffer.append
+        for byte in data:
+            acc = (acc << 8) | byte
+            append((acc >> nbits) & 0xFF)
+            acc &= mask
+        self._current = acc
 
     def align_to_byte(self, fill: int = 0) -> None:
         """Pad with ``fill`` bits until the stream is byte-aligned."""
@@ -116,14 +152,41 @@ class BitReader:
         return (self._data[byte_index] >> (7 - bit_index)) & 1
 
     def read_bits(self, width: int) -> int:
-        """Read ``width`` bits and return them as an unsigned integer."""
+        """Read ``width`` bits and return them as an unsigned integer.
+
+        Batched: the covered byte span is lifted into one integer via
+        ``int.from_bytes`` and the field extracted with a single shift,
+        instead of ``width`` per-bit reads.
+        """
         if width < 0:
             raise ValueError("width must be non-negative")
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
-        return value
+        if width == 0:
+            return 0
+        pos = self._pos
+        end = pos + width
+        data = self._data
+        available = 8 * len(data)
+        if end > available and not self._pad:
+            # Mirror the bit-at-a-time loop: bits up to the physical end
+            # are consumed before the failing read raises.
+            self._pos = max(pos, available)
+            raise EOFError("read past end of bit stream")
+        first, offset = divmod(pos, 8)
+        last = (end + 7) >> 3
+        span_end = min(last, len(data))
+        chunk = int.from_bytes(data[first:span_end], "big") if span_end > first else 0
+        # Zero-fill any bytes past the physical end (pad=True semantics).
+        chunk <<= 8 * (last - max(span_end, first))
+        self._pos = end
+        return (chunk >> (8 * (last - first) - offset - width)) & ((1 << width) - 1)
 
     def read_bytes(self, count: int) -> bytes:
         """Read ``count`` whole bytes."""
-        return bytes(self.read_bits(8) for _ in range(count))
+        if count <= 0:
+            return b""
+        pos = self._pos
+        if pos & 7 == 0 and pos + 8 * count <= 8 * len(self._data):
+            start = pos >> 3
+            self._pos = pos + 8 * count
+            return bytes(self._data[start : start + count])
+        return self.read_bits(8 * count).to_bytes(count, "big")

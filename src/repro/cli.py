@@ -2,10 +2,11 @@
 
 Subcommands
 -----------
-``ratio``     one benchmark × one algorithm → compression ratio
-``suite``     a Figure-7/8 style sweep for one ISA
-``figure``    regenerate fig7 / fig8 / fig9 directly
-``simulate``  run the decompress-on-miss memory-system simulation
+``ratio``       one benchmark × one algorithm → compression ratio
+``suite``       a Figure-7/8 style sweep for one ISA
+``figure``      regenerate fig7 / fig8 / fig9 directly
+``simulate``    run the decompress-on-miss memory-system simulation
+``bench-diff``  compare two BENCH_codec.json snapshots, flag regressions
 """
 
 from __future__ import annotations
@@ -156,6 +157,58 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two ``BENCH_codec.json`` snapshots from the benchmark harness.
+
+    A benchmark regresses when its metric (ns/byte when both snapshots
+    carry it, otherwise median ns) grew by more than ``--threshold``
+    (default 15%).  Exit status 1 when any benchmark regressed, so the
+    check can gate CI; benchmarks present in only one snapshot are
+    reported but never fail the diff.
+    """
+    import json
+
+    with open(args.old) as handle:
+        old = json.load(handle)
+    with open(args.new) as handle:
+        new = json.load(handle)
+    old_results = old.get("results", {})
+    new_results = new.get("results", {})
+    regressions = []
+    lines = []
+    for name in sorted(set(old_results) & set(new_results)):
+        before, after = old_results[name], new_results[name]
+        if "ns_per_byte" in before and "ns_per_byte" in after:
+            metric, b, a = "ns/byte", before["ns_per_byte"], after["ns_per_byte"]
+        else:
+            metric, b, a = "median ns", before["median_ns"], after["median_ns"]
+        if b <= 0:
+            continue
+        change = a / b - 1.0
+        flag = ""
+        if change > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append(name)
+        elif change < -args.threshold:
+            flag = "  (improved)"
+        lines.append(
+            f"{name}: {b:.1f} -> {a:.1f} {metric} ({change:+.1%}){flag}"
+        )
+    for name in sorted(set(old_results) - set(new_results)):
+        lines.append(f"{name}: only in {args.old}")
+    for name in sorted(set(new_results) - set(old_results)):
+        lines.append(f"{name}: only in {args.new}")
+    print("\n".join(lines) if lines else "no comparable benchmarks")
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_compress_file(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         data = handle.read()
@@ -221,6 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(analyze)
     analyze.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="gcc")
     analyze.set_defaults(func=_cmd_analyze)
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare two benchmark-harness JSON snapshots for regressions",
+    )
+    bench_diff.add_argument("old", help="baseline BENCH_codec.json")
+    bench_diff.add_argument("new", help="candidate BENCH_codec.json")
+    bench_diff.add_argument("--threshold", type=float, default=0.15,
+                            metavar="FRACTION",
+                            help="relative slowdown that counts as a "
+                                 "regression (default 0.15 = 15%%)")
+    bench_diff.set_defaults(func=_cmd_bench_diff)
 
     compress_file = sub.add_parser(
         "compress-file", help="compress any binary to the on-ROM format"

@@ -24,6 +24,7 @@ from repro.bitstream.fields import chunk_words, words_to_bytes
 from repro.core.lat import CompressedImage
 from repro.core.samc.model import SamcModel
 from repro.core.samc.streams import contiguous_streams, optimize_streams
+from repro.fastpath import fastpath_enabled
 from repro.entropy.arith import (
     BinaryArithmeticDecoder,
     BinaryArithmeticEncoder,
@@ -138,8 +139,17 @@ class SamcCodec:
                 initial=self.streams,
             )
         model = SamcModel(self.word_bits, streams, self.connect_bits)
-        for block in self._block_words(code):
-            model.train_block(block)
+        if fastpath_enabled():
+            from repro.fastpath.samc_kernel import train_model_fast
+
+            train_model_fast(
+                model,
+                chunk_words(code, self.word_bytes),
+                self.block_size // self.word_bytes,
+            )
+        else:
+            for block in self._block_words(code):
+                model.train_block(block)
         model.freeze(self._quantizer())
         return model
 
@@ -151,11 +161,19 @@ class SamcCodec:
                 f"{self.word_bytes}-byte word size"
             )
         model = self.train(code)
-        blocks: List[bytes] = []
-        for block_words in self._block_words(code):
-            encoder = BinaryArithmeticEncoder()
-            model.walk_encode(block_words, encoder.encode_bit)
-            blocks.append(encoder.finish())
+        if fastpath_enabled():
+            from repro.fastpath.samc_kernel import compiled_model
+
+            blocks = compiled_model(model).encode_blocks(
+                chunk_words(code, self.word_bytes),
+                self.block_size // self.word_bytes,
+            )
+        else:
+            blocks = []
+            for block_words in self._block_words(code):
+                encoder = BinaryArithmeticEncoder()
+                model.walk_encode(block_words, encoder.encode_bit)
+                blocks.append(encoder.finish())
         return CompressedImage(
             algorithm="SAMC",
             original_size=len(code),
@@ -188,8 +206,13 @@ class SamcCodec:
         payload = image.blocks[block_index]
         block_bytes = self._original_block_bytes(image, block_index)
         word_count = block_bytes // self.word_bytes
-        decoder = BinaryArithmeticDecoder(payload)
-        words = model.walk_decode(word_count, decoder.decode_bit)
+        if fastpath_enabled():
+            from repro.fastpath.samc_kernel import compiled_model
+
+            words = compiled_model(model).decode_block(payload, word_count)
+        else:
+            decoder = BinaryArithmeticDecoder(payload)
+            words = model.walk_decode(word_count, decoder.decode_bit)
         return words_to_bytes(words, self.word_bytes)
 
     def _original_block_bytes(self, image: CompressedImage, block_index: int) -> int:

@@ -81,6 +81,22 @@ class StreamModel:
             raise RuntimeError("model is frozen; cannot train further")
         self._counts[context, node, bit] += 1
 
+    def observe_counts(self, counts: np.ndarray) -> None:
+        """Bulk-accumulate a whole table of training observations.
+
+        The fastpath trainer (:mod:`repro.fastpath.samc_kernel`) computes
+        every (context, node, bit) event of a program with vectorised
+        array arithmetic and lands them here in one integer add — the
+        count table ends up identical to per-event :meth:`observe` calls.
+        """
+        if self._frozen:
+            raise RuntimeError("model is frozen; cannot train further")
+        if counts.shape != self._counts.shape:
+            raise ValueError(
+                f"counts shape {counts.shape} != {self._counts.shape}"
+            )
+        self._counts += counts
+
     def freeze(self, quantizer: Quantizer = quantize_probability) -> None:
         """Convert counts to quantised probabilities (KT-smoothed)."""
         zeros = self._counts[:, :, 0].astype(np.float64)

@@ -76,6 +76,29 @@ def quantize_power_of_two(p0: float) -> int:
     return PROB_ONE - max(1, lps_q)
 
 
+def flush_interval(low: int, range_: int, out: bytearray) -> None:
+    """Append the shortest byte prefix of a value in ``[low, low+range)``.
+
+    Shared by :meth:`BinaryArithmeticEncoder.finish` and the fastpath
+    coder kernels (:mod:`repro.fastpath`), so both paths terminate blocks
+    with the identical byte sequence by construction.
+    """
+    top = low + range_
+    for nbytes in range(5):
+        shift = 32 - 8 * nbytes
+        if shift >= 33:  # pragma: no cover - nbytes starts at 0
+            continue
+        step = 1 << shift if shift < 33 else 0
+        value = ((low + step - 1) >> shift) << shift if shift else low
+        if low <= value < top or (value == low == 0):
+            for byte_index in range(nbytes):
+                out.append((value >> (24 - 8 * byte_index)) & 0xFF)
+            return
+    raise AssertionError(  # pragma: no cover - nbytes=4 always succeeds
+        "flush failed to find an in-interval value"
+    )
+
+
 class BinaryArithmeticEncoder:
     """Carry-less binary range encoder.
 
@@ -127,19 +150,7 @@ class BinaryArithmeticEncoder:
         this per cache block, so a short flush matters for the ratio.
         """
         if not self._finished:
-            top = self._low + self._range
-            for nbytes in range(5):
-                shift = 32 - 8 * nbytes
-                if shift >= 33:  # pragma: no cover - nbytes starts at 0
-                    continue
-                step = 1 << shift if shift < 33 else 0
-                value = ((self._low + step - 1) >> shift) << shift if shift else self._low
-                if self._low <= value < top or (value == self._low == 0):
-                    for byte_index in range(nbytes):
-                        self._out.append((value >> (24 - 8 * byte_index)) & 0xFF)
-                    break
-            else:  # pragma: no cover - nbytes=4 always succeeds
-                raise AssertionError("flush failed to find an in-interval value")
+            flush_interval(self._low, self._range, self._out)
             self._finished = True
         return bytes(self._out)
 

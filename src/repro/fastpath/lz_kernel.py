@@ -1,0 +1,155 @@
+"""Fast LZ kernels: chunked LZSS match extension, integer-keyed LZW.
+
+Token-for-token and byte-for-byte identical to the reference
+implementations in :mod:`repro.baselines.lzss` / :mod:`repro.baselines.lzw`
+(differential tests pin this); the speed comes from three structural
+changes, not algorithmic ones:
+
+* LZSS match extension compares 16-byte ``memoryview`` slices and only
+  falls back to a byte loop inside the final chunk, instead of one
+  Python comparison per matched byte;
+* hash-chain keys are packed 24-bit integers rather than 3-byte
+  ``bytes`` slices (no per-position object allocation);
+* LZW's dictionary maps ``(prefix_code << 8) | byte`` integers instead
+  of growing byte strings — prefix codes are unique per string, so the
+  lookups are equivalent and O(1) with tiny keys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bitstream.io import BitWriter
+
+
+def tokenize_fast(data: bytes) -> List:
+    """Greedy LZSS parse, identical to the reference ``tokenize``."""
+    from repro.baselines.lzss import (
+        MAX_CHAIN,
+        MAX_MATCH,
+        MIN_MATCH,
+        WINDOW_SIZE,
+        Literal,
+        Match,
+    )
+
+    tokens: List = []
+    n = len(data)
+    if n == 0:
+        return tokens
+    view = memoryview(data)
+    chains: dict = {}
+    chains_get = chains.get
+    append_token = tokens.append
+    pos = 0
+    while pos < n:
+        best_length = 0
+        best_distance = 0
+        if pos + MIN_MATCH <= n:
+            key = (data[pos] << 16) | (data[pos + 1] << 8) | data[pos + 2]
+            chain = chains_get(key)
+            if chain:
+                limit = min(MAX_MATCH, n - pos)
+                for candidate in reversed(chain):
+                    if pos - candidate > WINDOW_SIZE:
+                        break
+                    # Screening byte: a candidate can only *strictly*
+                    # beat best_length if it also matches at offset
+                    # best_length, so one compare rejects most of the
+                    # chain without touching the extension loop.
+                    if best_length and (
+                        best_length >= limit
+                        or data[candidate + best_length] != data[pos + best_length]
+                    ):
+                        continue
+                    # Chain hits share the 3-byte key, so extension
+                    # starts at MIN_MATCH: 16-byte view compares first,
+                    # a byte loop only inside the mismatching chunk.
+                    length = MIN_MATCH
+                    while (
+                        length + 16 <= limit
+                        and view[candidate + length : candidate + length + 16]
+                        == view[pos + length : pos + length + 16]
+                    ):
+                        length += 16
+                    while length < limit and data[candidate + length] == data[pos + length]:
+                        length += 1
+                    if length > best_length:
+                        best_length = length
+                        best_distance = pos - candidate
+                        if length >= MAX_MATCH:
+                            break
+        if best_length >= MIN_MATCH:
+            append_token(Match(best_length, best_distance))
+            end = pos + best_length
+            while pos < end:
+                if pos + MIN_MATCH <= n:
+                    key = (data[pos] << 16) | (data[pos + 1] << 8) | data[pos + 2]
+                    chain = chains_get(key)
+                    if chain is None:
+                        chains[key] = [pos]
+                    else:
+                        chain.append(pos)
+                        if len(chain) > MAX_CHAIN:
+                            del chain[0 : len(chain) - MAX_CHAIN]
+                pos += 1
+        else:
+            append_token(Literal(data[pos]))
+            if pos + MIN_MATCH <= n:
+                key = (data[pos] << 16) | (data[pos + 1] << 8) | data[pos + 2]
+                chain = chains_get(key)
+                if chain is None:
+                    chains[key] = [pos]
+                else:
+                    chain.append(pos)
+                    if len(chain) > MAX_CHAIN:
+                        del chain[0 : len(chain) - MAX_CHAIN]
+            pos += 1
+    return tokens
+
+
+def lzw_compress_fast(data: bytes) -> bytes:
+    """LZW with integer dictionary keys; output matches the reference.
+
+    A prefix's dictionary code uniquely identifies its byte string
+    (single bytes are their own codes), so keying on
+    ``(prefix_code << 8) | next_byte`` performs exactly the lookups the
+    reference does on ``prefix_string + next_byte`` — without building
+    a byte string per input position.
+    """
+    from repro.baselines.lzw import CLEAR_CODE, FIRST_CODE, MAX_BITS, MIN_BITS
+
+    writer = BitWriter()
+    writer.write_bits(len(data) & 0xFFFFFFFF, 32)
+    if not data:
+        return writer.getvalue()
+
+    table: dict = {}
+    table_get = table.get
+    write_bits = writer.write_bits
+    max_code = 1 << MAX_BITS
+    next_code = FIRST_CODE
+    width = MIN_BITS
+    prefix = data[0]
+    for byte in data[1:]:
+        key = (prefix << 8) | byte
+        code = table_get(key)
+        if code is not None:
+            prefix = code
+            continue
+        write_bits(prefix, width)
+        if next_code < max_code:
+            table[key] = next_code
+            next_code += 1
+            if next_code > (1 << width) and width < MAX_BITS:
+                width += 1
+        else:
+            # Dictionary full: emit CLEAR and start over, like compress
+            # does when its ratio-check fires.
+            write_bits(CLEAR_CODE, width)
+            table.clear()
+            next_code = FIRST_CODE
+            width = MIN_BITS
+        prefix = byte
+    write_bits(prefix, width)
+    return writer.getvalue()

@@ -10,7 +10,10 @@ input, or float repr shortcuts: every value is normalised first.
 
 ``CODEC_SCHEMA_VERSION`` is folded into every fingerprint; bump it
 whenever any codec's output format or accounting changes so stale disk
-caches invalidate themselves instead of serving wrong ratios.
+caches invalidate themselves instead of serving wrong ratios.  So is
+:data:`repro.fastpath.FASTPATH_VERSION`, the coder-kernel generation —
+the guard that a disk cache written before a kernel optimisation can
+never be served against a kernel that codes differently.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from __future__ import annotations
 import hashlib
 import json
 from typing import Any, Dict, Optional
+
+from repro.fastpath import FASTPATH_VERSION
 
 #: Version of the codec outputs covered by cached results.  Part of every
 #: fingerprint: bumping it orphans (never corrupts) old disk entries.
@@ -48,6 +53,13 @@ def canonical_config(
     """Canonical JSON fingerprint text for one codec configuration."""
     config: Dict[str, Any] = {
         "schema": CODEC_SCHEMA_VERSION,
+        # The coder-kernel generation that produced (or would produce)
+        # the result.  The fastpath kernels are bit-identical to the
+        # reference today, so results are shared across REPRO_FASTPATH
+        # settings — but if a kernel revision ever changed coded output,
+        # bumping FASTPATH_VERSION orphans every pre-revision cache
+        # entry instead of serving stale payload sizes.
+        "fastpath_version": FASTPATH_VERSION,
         "algorithm": algorithm,
         "isa": isa,
         "block_size": block_size,

@@ -1,0 +1,198 @@
+"""Differential tests: fastpath kernels vs the reference oracles.
+
+The reference implementations are the specification; every fastpath
+kernel must match them bit for bit on *arbitrary* inputs, not just the
+benchmark workloads.  Hypothesis drives random byte strings (plus the
+adversarial shapes it likes: runs, near-periodic data, empty input)
+through both paths — reference selected via the same ``REPRO_FASTPATH``
+escape hatch users get, so the dispatch plumbing is exercised too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import lzss
+from repro.baselines.lzw import _lzw_compress_reference, lzw_decompress
+from repro.bitstream.io import BitReader, BitWriter
+from repro.core.samc.codec import SamcCodec
+from repro.core.samc.model import SamcModel
+from repro.entropy.arith import quantize_probability
+from repro.fastpath.lz_kernel import lzw_compress_fast, tokenize_fast
+from repro.fastpath.samc_kernel import (
+    CompiledSamcModel,
+    train_model_fast,
+)
+
+
+# ---------------------------------------------------------------------------
+# LZ kernels
+
+lz_data = st.one_of(
+    st.binary(max_size=600),
+    # Highly repetitive inputs: long matches, self-overlap, chain churn.
+    st.builds(
+        lambda unit, reps, tail: unit * reps + tail,
+        st.binary(min_size=1, max_size=8),
+        st.integers(1, 120),
+        st.binary(max_size=8),
+    ),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(lz_data)
+def test_lzss_tokenize_differential(data):
+    assert tokenize_fast(data) == lzss._tokenize_reference(data)
+
+
+@settings(max_examples=80, deadline=None)
+@given(lz_data)
+def test_lzw_differential(data):
+    fast = lzw_compress_fast(data)
+    assert fast == _lzw_compress_reference(data)
+    assert lzw_decompress(fast) == data
+
+
+def test_lzw_dictionary_reset_differential():
+    """Enough distinct digrams to overflow the 16-bit dictionary."""
+    rng = np.random.default_rng(42)
+    data = rng.integers(0, 256, size=150_000, dtype=np.uint8).tobytes()
+    assert lzw_compress_fast(data) == _lzw_compress_reference(data)
+
+
+# ---------------------------------------------------------------------------
+# Batched bit I/O vs bit-at-a-time
+
+ops = st.lists(
+    st.one_of(
+        st.integers(0, 1).map(lambda b: ("bit", b)),
+        st.tuples(st.integers(0, 40), st.integers(0, 2**40 - 1)).map(
+            lambda t: ("bits", t[0], t[1] & ((1 << t[0]) - 1))
+        ),
+        st.binary(max_size=12).map(lambda d: ("bytes", d)),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops)
+def test_bitwriter_batched_matches_bitwise(sequence):
+    batched = BitWriter()
+    bitwise = BitWriter()
+    for op in sequence:
+        if op[0] == "bit":
+            batched.write_bit(op[1])
+            bitwise.write_bit(op[1])
+        elif op[0] == "bits":
+            _, width, value = op
+            batched.write_bits(value, width)
+            for shift in range(width - 1, -1, -1):
+                bitwise.write_bit((value >> shift) & 1)
+        else:
+            batched.write_bytes(op[1])
+            for byte in op[1]:
+                for shift in range(7, -1, -1):
+                    bitwise.write_bit((byte >> shift) & 1)
+    assert len(batched) == len(bitwise)
+    assert batched.getvalue() == bitwise.getvalue()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=20), st.lists(st.integers(0, 19), max_size=12),
+       st.booleans())
+def test_bitreader_batched_matches_bitwise(data, widths, pad):
+    batched = BitReader(data, pad=pad)
+    bitwise = BitReader(data, pad=pad)
+    for width in widths:
+        try:
+            expected = 0
+            for _ in range(width):
+                expected = (expected << 1) | bitwise.read_bit()
+        except EOFError:
+            with pytest.raises(EOFError):
+                batched.read_bits(width)
+            return
+        assert batched.read_bits(width) == expected
+        assert batched.bit_position == bitwise.bit_position
+
+
+# ---------------------------------------------------------------------------
+# SAMC kernels vs the object walk
+
+def _random_words(draw_bytes, word_bits):
+    word_bytes = word_bits // 8
+    usable = len(draw_bytes) - len(draw_bytes) % word_bytes
+    return [
+        int.from_bytes(draw_bytes[i : i + word_bytes], "big")
+        for i in range(0, usable, word_bytes)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=4, max_size=320), st.integers(0, 3),
+       st.sampled_from([1, 2, 4]))
+def test_samc_kernel_differential(data, connect_bits, words_per_block):
+    """Training counts, coded blocks, and decode all match the reference."""
+    words = _random_words(data, 32)
+    if not words:
+        return
+    streams = [[0, 1, 2, 3, 4, 5, 6, 7], [8, 9, 10, 11, 12, 13, 14, 15],
+               [16, 17, 18, 19, 20, 21, 22, 23], [24, 25, 26, 27, 28, 29, 30, 31]]
+
+    reference = SamcModel(32, streams, connect_bits)
+    blocks = [
+        words[i : i + words_per_block]
+        for i in range(0, len(words), words_per_block)
+    ]
+    for block in blocks:
+        reference.train_block(block)
+    fast = SamcModel(32, streams, connect_bits)
+    train_model_fast(fast, words, words_per_block)
+    for ref_stream, fast_stream in zip(reference.stream_models, fast.stream_models):
+        assert (ref_stream._counts == fast_stream._counts).all()
+
+    reference.freeze(quantize_probability)
+    fast.freeze(quantize_probability)
+    compiled = CompiledSamcModel(fast)
+
+    from repro.entropy.arith import BinaryArithmeticDecoder, BinaryArithmeticEncoder
+
+    expected_payloads = []
+    for block in blocks:
+        encoder = BinaryArithmeticEncoder()
+        reference.walk_encode(block, encoder.encode_bit)
+        expected_payloads.append(encoder.finish())
+    assert compiled.encode_blocks(words, words_per_block) == expected_payloads
+
+    for block, payload in zip(blocks, expected_payloads):
+        decoder = BinaryArithmeticDecoder(payload)
+        assert reference.walk_decode(len(block), decoder.decode_bit) == block
+        assert compiled.decode_block(payload, len(block)) == block
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=8, max_size=256).map(lambda b: b[: len(b) - len(b) % 4]))
+def test_samc_codec_escape_hatch_differential(data):
+    """The codec-level dispatch produces identical images either way."""
+    import os
+
+    if not data:
+        return
+    saved = os.environ.get("REPRO_FASTPATH")
+    try:
+        os.environ["REPRO_FASTPATH"] = "0"
+        reference = SamcCodec.for_mips(block_size=16).compress(data)
+        os.environ["REPRO_FASTPATH"] = "1"
+        fast = SamcCodec.for_mips(block_size=16).compress(data)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FASTPATH", None)
+        else:
+            os.environ["REPRO_FASTPATH"] = saved
+    assert reference.blocks == fast.blocks
+    assert SamcCodec.for_mips(block_size=16).decompress(fast) == data
