@@ -72,7 +72,7 @@ def _lzw_compress_reference(data: bytes) -> bytes:
     return writer.getvalue()
 
 
-def lzw_decompress(payload: bytes) -> bytes:
+def lzw_decompress(payload: bytes) -> bytes:  # repro: noqa fastpath-parity (no decode kernel; table rebuild dominates either way)
     """Inverse of :func:`lzw_compress`."""
     reader = BitReader(payload)
     length = reader.read_bits(32)

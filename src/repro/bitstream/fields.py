@@ -17,12 +17,20 @@ def extract_bits(word: int, positions: Sequence[int], width: int) -> int:
     """Gather the bits of ``word`` at MSB-first ``positions`` into an int.
 
     The first listed position becomes the most significant bit of the
-    result.  ``width`` is the width of ``word``.
+    result.  ``width`` is the width of ``word``.  Positions must be
+    unique: a duplicate raises :class:`ValueError`, since a repeated
+    position cannot round-trip through :func:`deposit_bits` (the layout
+    verifier's tiling check relies on this).
     """
     value = 0
+    seen = 0
     for pos in positions:
         if not 0 <= pos < width:
             raise ValueError(f"bit position {pos} out of range for width {width}")
+        bit = 1 << pos
+        if seen & bit:
+            raise ValueError(f"duplicate bit position {pos}")
+        seen |= bit
         value = (value << 1) | ((word >> (width - 1 - pos)) & 1)
     return value
 
@@ -35,9 +43,14 @@ def deposit_bits(value: int, positions: Sequence[int], width: int) -> int:
     """
     word = 0
     nbits = len(positions)
+    seen = 0
     for index, pos in enumerate(positions):
         if not 0 <= pos < width:
             raise ValueError(f"bit position {pos} out of range for width {width}")
+        mask = 1 << pos
+        if seen & mask:
+            raise ValueError(f"duplicate bit position {pos}")
+        seen |= mask
         bit = (value >> (nbits - 1 - index)) & 1
         word |= bit << (width - 1 - pos)
     return word

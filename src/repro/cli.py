@@ -7,6 +7,7 @@ Subcommands
 ``figure``      regenerate fig7 / fig8 / fig9 directly
 ``simulate``    run the decompress-on-miss memory-system simulation
 ``bench-diff``  compare two BENCH_codec.json snapshots, flag regressions
+``check``       static verification: codec invariants + repo lint rules
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.tables import format_averages, format_mapping, format_suite
 from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.cli_report import emit_json, print_lines, report_failures
 from repro.core import decompress_image, load_image, save_image
 from repro.core.sadc import sadc_compress
 from repro.core.samc import SamcCodec
@@ -198,15 +200,48 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
         lines.append(f"{name}: only in {args.old}")
     for name in sorted(set(new_results) - set(old_results)):
         lines.append(f"{name}: only in {args.new}")
-    print("\n".join(lines) if lines else "no comparable benchmarks")
-    if regressions:
-        print(
-            f"\n{len(regressions)} benchmark(s) regressed more than "
-            f"{args.threshold:.0%}",
-            file=sys.stderr,
+    print_lines(lines, empty="no comparable benchmarks")
+    return report_failures(
+        len(regressions),
+        f"{len(regressions)} benchmark(s) regressed more than "
+        f"{args.threshold:.0%}",
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the static verifier (codec invariants + repo lint rules).
+
+    Layer 1 rebuilds representative codec artifacts from a deterministic
+    corpus and checks decodability invariants; layer 2 lints the package
+    sources against repo-specific AST rules.  ``--strict`` fails on any
+    finding (warnings included) — the CI configuration.
+    """
+    from repro.verify import exit_status, run_all_checks
+
+    findings = run_all_checks(
+        artifact_scale=args.scale,
+        artifacts=not args.no_artifacts,
+        lint=not args.no_lint,
+    )
+    if args.format == "json":
+        emit_json({
+            "findings": [f.to_dict() for f in findings],
+            "strict": args.strict,
+            "status": exit_status(findings, strict=args.strict),
+        })
+    else:
+        print_lines(
+            (f.format() for f in findings),
+            empty="all checks passed",
         )
-        return 1
-    return 0
+    errors = sum(f.severity == "error" for f in findings)
+    warnings = len(findings) - errors
+    failing = len(findings) if args.strict else errors
+    report_failures(
+        failing,
+        f"verification failed: {errors} error(s), {warnings} warning(s)",
+    )
+    return exit_status(findings, strict=args.strict)
 
 
 def _cmd_compress_file(args: argparse.Namespace) -> int:
@@ -286,6 +321,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="relative slowdown that counts as a "
                                  "regression (default 0.15 = 15%%)")
     bench_diff.set_defaults(func=_cmd_bench_diff)
+
+    check = sub.add_parser(
+        "check",
+        help="static verification: codec invariants + repo lint rules",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument("--strict", action="store_true",
+                       help="fail on any finding, warnings included")
+    check.add_argument("--scale", type=float, default=0.25,
+                       help="sample-corpus size for artifact checks")
+    check.add_argument("--no-artifacts", action="store_true",
+                       help="skip layer 1 (codec artifact invariants)")
+    check.add_argument("--no-lint", action="store_true",
+                       help="skip layer 2 (AST lint rules)")
+    check.set_defaults(func=_cmd_check)
 
     compress_file = sub.add_parser(
         "compress-file", help="compress any binary to the on-ROM format"

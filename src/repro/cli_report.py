@@ -1,0 +1,48 @@
+"""Shared report-formatting helpers for CLI subcommands.
+
+``bench-diff`` and ``check`` both follow the same reporting contract:
+a body of result lines on stdout (with a placeholder when there is
+nothing to report), an optional failure summary on stderr, and an exit
+status that gates CI.  Centralising that shape keeps the two commands'
+output — and any future report-style subcommand — consistent.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Iterable, Optional, TextIO
+
+
+def print_lines(
+    lines: Iterable[str],
+    empty: str,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Print report body lines, or the ``empty`` placeholder if none."""
+    out = stream if stream is not None else sys.stdout
+    body = list(lines)
+    print("\n".join(body) if body else empty, file=out)
+
+
+def emit_json(payload: Any, stream: Optional[TextIO] = None) -> None:
+    """Print a machine-readable report (stable key order)."""
+    out = stream if stream is not None else sys.stdout
+    print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+
+
+def report_failures(
+    count: int,
+    message: str,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Print a failure summary to stderr when ``count > 0``.
+
+    Returns the exit status contribution: 1 on failure, 0 otherwise,
+    so callers can ``return report_failures(...)`` directly.
+    """
+    err = stream if stream is not None else sys.stderr
+    if count > 0:
+        print(f"\n{message}", file=err)
+        return 1
+    return 0

@@ -16,8 +16,9 @@ identical tables, a property the tests and the LAT layout rely on.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bitstream.io import BitReader, BitWriter
 
@@ -91,10 +92,83 @@ def canonical_codewords(lengths: Dict[int, int]) -> Dict[int, int]:
     return codewords
 
 
+def kraft_numerator(lengths: Dict[int, int], scale_bits: int = 32) -> int:
+    """Kraft sum of the code lengths, scaled by ``2**scale_bits``.
+
+    Exact integer arithmetic (no floats): a complete prefix code sums to
+    exactly ``1 << scale_bits``; more means the lengths cannot form a
+    prefix code at all, less means the code wastes bit patterns.
+    """
+    return sum(1 << (scale_bits - length) for length in lengths.values())
+
+
+def find_prefix_violation(
+    lengths: Dict[int, int], codewords: Dict[int, int]
+) -> Optional[Tuple[int, int]]:
+    """First pair of symbols whose codewords collide, or ``None``.
+
+    A collision is either a duplicate codeword or one codeword being a
+    proper prefix of another — both make the table undecodable.
+    """
+    by_length: Dict[int, Dict[int, int]] = {}
+    for symbol in sorted(lengths):
+        length = lengths[symbol]
+        word = codewords[symbol]
+        if word.bit_length() > length:
+            return (symbol, symbol)  # codeword does not fit its length
+        table = by_length.setdefault(length, {})
+        if word in table:
+            return (table[word], symbol)
+        table[word] = symbol
+    ordered_lengths = sorted(by_length)
+    for symbol in sorted(lengths):
+        length = lengths[symbol]
+        word = codewords[symbol]
+        for shorter in ordered_lengths:
+            if shorter >= length:
+                break
+            prefix = word >> (length - shorter)
+            if prefix in by_length[shorter]:
+                return (by_length[shorter][prefix], symbol)
+    return None
+
+
+def construction_checks_enabled() -> bool:
+    """Whether :func:`build_code` self-verifies its output.
+
+    On by default in debug mode; ``python -O`` or ``REPRO_VERIFY=0``
+    switches the check off.  Verification never alters the table, so the
+    coded bitstream is identical either way.
+    """
+    return __debug__ and os.environ.get("REPRO_VERIFY", "1") != "0"
+
+
+def verify_code(lengths: Dict[int, int], codewords: Dict[int, int]) -> None:
+    """Raise :class:`ValueError` unless the table is a sound prefix code."""
+    violation = find_prefix_violation(lengths, codewords)
+    if violation is not None:
+        first, second = violation
+        raise ValueError(
+            f"Huffman table is not prefix-free: symbols {first} and "
+            f"{second} have colliding codewords"
+        )
+    if lengths and kraft_numerator(lengths) > (1 << 32):
+        raise ValueError("Huffman table overfull: Kraft sum exceeds 1")
+
+
 def build_code(counts: Dict[int, int]) -> HuffmanCode:
-    """Build a canonical Huffman code from symbol counts."""
+    """Build a canonical Huffman code from symbol counts.
+
+    In debug mode (see :func:`construction_checks_enabled`) the freshly
+    built table is verified for prefix-freeness and Kraft soundness
+    before it is released to any encoder — table bugs surface here, at
+    construction, not deep inside a block decode.
+    """
     lengths = code_lengths(counts)
-    return HuffmanCode(lengths=lengths, codewords=canonical_codewords(lengths))
+    codewords = canonical_codewords(lengths)
+    if construction_checks_enabled():
+        verify_code(lengths, codewords)
+    return HuffmanCode(lengths=lengths, codewords=codewords)
 
 
 def build_code_from_symbols(symbols: Iterable[int]) -> HuffmanCode:

@@ -68,7 +68,9 @@ def bit_correlation(words: Sequence[int], width: int) -> np.ndarray:
     return np.abs(corr)
 
 
-def markov_stream_entropy(words: Sequence[int], positions: Sequence[int], width: int) -> float:
+def markov_stream_entropy(
+    words: Sequence[int], positions: Sequence[int], width: int
+) -> float:
     """First-order (Markov-tree) entropy of one candidate bit stream.
 
     Models exactly what a SAMC binary Markov tree captures: the entropy of

@@ -29,6 +29,31 @@ OP_SPECIAL = 0x00
 OP_REGIMM = 0x01
 OP_COP1 = 0x11
 
+#: Bit-field tilings of the three hardware formats, as
+#: ``(field, msb_start, width)`` triples in this package's MSB-first
+#: convention.  Each layout must partition the 32-bit word exactly —
+#: no overlap, no gap — which ``repro verify`` checks statically.
+FIELD_LAYOUTS: Dict[str, Tuple[Tuple[str, int, int], ...]] = {
+    "R": (
+        ("op", 0, 6),
+        ("rs", 6, 5),
+        ("rt", 11, 5),
+        ("rd", 16, 5),
+        ("shamt", 21, 5),
+        ("funct", 26, 6),
+    ),
+    "I": (
+        ("op", 0, 6),
+        ("rs", 6, 5),
+        ("rt", 11, 5),
+        ("imm", 16, 16),
+    ),
+    "J": (
+        ("op", 0, 6),
+        ("target", 6, 26),
+    ),
+}
+
 FMT_SINGLE = 0x10
 FMT_DOUBLE = 0x11
 

@@ -32,6 +32,15 @@ PREFIXES = frozenset({0x66, 0x67, 0x2E, 0x36, 0x3E, 0x26, 0x64, 0x65, 0xF0, 0xF2
 
 OPERAND_SIZE_PREFIX = 0x66
 
+#: Bit-field tilings of the fixed-layout operand bytes, as
+#: ``(field, msb_start, width)`` triples.  x86 opcodes are a
+#: variable-length grammar, but ModRM and SIB are rigid 8-bit tilings
+#: — which ``repro verify`` checks statically, like the MIPS formats.
+FIELD_LAYOUTS: Dict[str, Tuple[Tuple[str, int, int], ...]] = {
+    "modrm": (("mod", 0, 2), ("reg", 2, 3), ("rm", 5, 3)),
+    "sib": (("scale", 0, 2), ("index", 2, 3), ("base", 5, 3)),
+}
+
 
 @dataclass(frozen=True)
 class X86OpcodeInfo:

@@ -1,0 +1,298 @@
+"""Repo-specific lint rules for the :mod:`repro.verify.lint` engine.
+
+Each rule encodes a correctness contract of this codebase:
+
+``no-float-hotpath``
+    Bit-exact coder paths (``entropy/arith.py``, ``fastpath/``,
+    ``bitstream/io.py``) must use pure integer arithmetic — a stray
+    float or true division silently changes compressed bits across
+    platforms.  Functions named ``quantize_*`` are exempt: quantisation
+    is the one sanctioned float→int boundary.
+
+``unordered-iteration``
+    Fingerprint and serialisation code must be deterministic; iterating
+    a set (or unsorted ``dict.values()``) makes cache keys and archive
+    bytes depend on hash ordering.
+
+``unseeded-random``
+    Workload generators must draw from an explicit ``random.Random(seed)``
+    (or seeded numpy generator) so benchmarks are reproducible.
+
+``fastpath-parity``
+    A module that imports :mod:`repro.fastpath` has opted into the
+    reference/kernel dual-path contract: every public compress/decompress
+    style entry point must dispatch through ``fastpath_enabled()``
+    (directly or via a helper it calls), so ``REPRO_FASTPATH=0`` always
+    reaches the reference oracle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.verify import SEVERITY_ERROR, Finding
+from repro.verify.lint import FileRule, ParsedModule, ProjectRule
+
+
+def _function_stack(tree: ast.Module) -> Dict[ast.AST, Tuple[str, ...]]:
+    """Map every node to the chain of enclosing function names."""
+    stack: Dict[ast.AST, Tuple[str, ...]] = {}
+
+    def visit(node: ast.AST, chain: Tuple[str, ...]) -> None:
+        stack[node] = chain
+        child_chain = chain
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            child_chain = chain + (node.name,)
+        for child in ast.iter_child_nodes(node):
+            visit(child, child_chain)
+
+    visit(tree, ())
+    return stack
+
+
+class NoFloatHotpath(FileRule):
+    """Flag float constants and true division in bit-exact coder paths."""
+
+    rule_id = "no-float-hotpath"
+    severity = SEVERITY_ERROR
+    description = (
+        "float arithmetic or `/` in a bit-exact hot path "
+        "(quantize_* functions are exempt)"
+    )
+    paths = ("entropy/arith.py", "fastpath/", "bitstream/io.py")
+
+    def check(self, module: ParsedModule) -> List[Finding]:
+        stack = _function_stack(module.tree)
+        findings: List[Finding] = []
+
+        def exempt(node: ast.AST) -> bool:
+            return any(name.startswith("quantize_") for name in stack[node])
+
+        for node in ast.walk(module.tree):
+            if exempt(node):
+                continue
+            if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
+                node.op, ast.Div
+            ):
+                findings.append(self._finding(module, node, "true division `/`"))
+            elif isinstance(node, ast.Constant) and isinstance(node.value, float):
+                findings.append(
+                    self._finding(module, node, f"float constant {node.value!r}")
+                )
+        return findings
+
+    def _finding(
+        self, module: ParsedModule, node: ast.AST, what: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            file=module.display,
+            line=getattr(node, "lineno", 1),
+            message=f"{what} in bit-exact hot path; use integer arithmetic",
+        )
+
+
+class UnorderedIteration(FileRule):
+    """Flag hash-order-dependent iteration in fingerprint/serialize code."""
+
+    rule_id = "unordered-iteration"
+    severity = SEVERITY_ERROR
+    description = (
+        "iteration over a set or unsorted dict.values() in a "
+        "determinism-critical path"
+    )
+    paths = ("pipeline/fingerprint.py", "core/serialize.py")
+
+    def check(self, module: ParsedModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                reason = self._unordered(it)
+                if reason is not None:
+                    findings.append(Finding(
+                        rule=self.rule_id,
+                        severity=self.severity,
+                        file=module.display,
+                        line=it.lineno,
+                        message=(
+                            f"iterating {reason} makes output depend on hash "
+                            "order; sort or use an ordered container"
+                        ),
+                    ))
+        return findings
+
+    @staticmethod
+    def _unordered(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return f"{func.id}()"
+            if isinstance(func, ast.Attribute) and func.attr == "values":
+                return "dict.values() without sorted()"
+        return None
+
+
+class UnseededRandom(FileRule):
+    """Flag module-level random draws in workload generators."""
+
+    rule_id = "unseeded-random"
+    severity = SEVERITY_ERROR
+    description = "unseeded module-level randomness in a workload generator"
+    paths = ("workloads/",)
+
+    _NP_OK = ("default_rng", "RandomState", "Generator", "SeedSequence")
+
+    def check(self, module: ParsedModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            owner = func.value
+            if isinstance(owner, ast.Name) and owner.id == "random":
+                if func.attr != "Random":
+                    findings.append(self._finding(module, node, f"random.{func.attr}"))
+            elif (
+                isinstance(owner, ast.Attribute)
+                and owner.attr == "random"
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id in ("np", "numpy")
+                and func.attr not in self._NP_OK
+            ):
+                findings.append(
+                    self._finding(module, node, f"np.random.{func.attr}")
+                )
+        return findings
+
+    def _finding(
+        self, module: ParsedModule, node: ast.AST, call: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            file=module.display,
+            line=getattr(node, "lineno", 1),
+            message=(
+                f"{call}() draws from shared global state; construct a "
+                "seeded random.Random instead"
+            ),
+        )
+
+
+class FastpathParity(ProjectRule):
+    """Public codec entry points must dispatch through fastpath_enabled()."""
+
+    rule_id = "fastpath-parity"
+    severity = SEVERITY_ERROR
+    description = (
+        "public codec entry point in a fastpath-aware module never "
+        "consults fastpath_enabled()"
+    )
+
+    _SCOPES = ("core/samc/", "baselines/")
+    _VERBS = ("compress", "decompress", "encode", "decode", "tokenize", "train")
+
+    def check_project(self, modules: List[ParsedModule]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            if not module.relpath.startswith(self._SCOPES):
+                continue
+            if not self._imports_fastpath(module.tree):
+                continue
+            findings.extend(self._check_module(module))
+        return findings
+
+    @staticmethod
+    def _imports_fastpath(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module is not None and node.module.startswith(
+                    "repro.fastpath"
+                ):
+                    return True
+            elif isinstance(node, ast.Import):
+                if any(a.name.startswith("repro.fastpath") for a in node.names):
+                    return True
+        return False
+
+    def _check_module(self, module: ParsedModule) -> List[Finding]:
+        # Every function/method in the module, by bare name, with the set
+        # of names it calls (both foo() and obj.foo() count as "foo").
+        defs: Dict[str, ast.AST] = {}
+        calls: Dict[str, Set[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.setdefault(node.name, node)
+                calls.setdefault(node.name, set()).update(_called_names(node))
+
+        def reaches_dispatch(name: str) -> bool:
+            frontier = [name]
+            visited: Set[str] = set()
+            while frontier:
+                current = frontier.pop()
+                if current in visited:
+                    continue
+                visited.add(current)
+                called = calls.get(current, set())
+                if "fastpath_enabled" in called:
+                    return True
+                frontier.extend(c for c in called if c in defs)
+            return False
+
+        findings: List[Finding] = []
+        for name in sorted(defs):
+            if name.startswith("_"):
+                continue
+            if not any(verb in name for verb in self._VERBS):
+                continue
+            if reaches_dispatch(name):
+                continue
+            node = defs[name]
+            findings.append(Finding(
+                rule=self.rule_id,
+                severity=self.severity,
+                file=module.display,
+                line=getattr(node, "lineno", 1),
+                message=(
+                    f"{name}() lives in a fastpath-aware module but never "
+                    "reaches fastpath_enabled(); add the dispatch or a "
+                    "`# repro: noqa fastpath-parity` with justification"
+                ),
+            ))
+        return findings
+
+
+def _called_names(func: ast.AST) -> Set[str]:
+    """Bare names of everything ``func`` calls (Name or Attribute form)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+    return names
+
+
+def default_rules() -> List[object]:
+    """The rule set ``python -m repro check`` runs."""
+    return [
+        NoFloatHotpath(),
+        UnorderedIteration(),
+        UnseededRandom(),
+        FastpathParity(),
+    ]

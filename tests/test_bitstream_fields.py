@@ -37,6 +37,20 @@ class TestExtractDeposit:
         with pytest.raises(ValueError):
             deposit_bits(0, [8], 8)
 
+    def test_duplicate_position_rejected(self):
+        # A repeated position cannot round-trip (the second write would
+        # clobber the first), so both directions refuse it outright.
+        with pytest.raises(ValueError, match="duplicate bit position 3"):
+            extract_bits(0xFF, (0, 3, 3), 8)
+        with pytest.raises(ValueError, match="duplicate bit position 3"):
+            deposit_bits(0b101, (0, 3, 3), 8)
+
+    def test_duplicate_rejected_even_when_bits_agree(self):
+        # Rejection is structural, not value-dependent: depositing the
+        # same bit value twice at one position is still an error.
+        with pytest.raises(ValueError):
+            deposit_bits(0b00, (5, 5), 8)
+
 
 @given(st.integers(0, 2**32 - 1), st.permutations(list(range(32))))
 def test_extract_deposit_roundtrip_full_word(word, order):
