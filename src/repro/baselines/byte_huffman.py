@@ -21,6 +21,7 @@ from repro.entropy.huffman import (
     HuffmanEncoder,
     build_code,
 )
+from repro.obs import get_recorder
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -35,14 +36,30 @@ class ByteHuffmanCodec:
 
     def compress(self, code: bytes) -> CompressedImage:
         """Compress a code image block by block under one shared table."""
+        rec = get_recorder()
         table = build_code(Counter(code))
         encoder = HuffmanEncoder(table)
         blocks = []
-        for block in split_blocks(code, self.block_size):
-            writer = BitWriter()
-            encoder.encode_to(writer, list(block))
-            blocks.append(writer.getvalue())
-        return CompressedImage(
+        if rec.enabled:
+            with rec.span("byte_huffman.encode"):
+                symbol_bits = 0
+                padding_bits = 0
+                for block in split_blocks(code, self.block_size):
+                    writer = BitWriter()
+                    encoder.encode_to(writer, list(block))
+                    payload = writer.getvalue()
+                    symbol_bits += writer.bit_length
+                    padding_bits += len(payload) * 8 - writer.bit_length
+                    blocks.append(payload)
+            rec.add_bits("symbols", symbol_bits)
+            if padding_bits:
+                rec.add_bits("padding", padding_bits)
+        else:
+            for block in split_blocks(code, self.block_size):
+                writer = BitWriter()
+                encoder.encode_to(writer, list(block))
+                blocks.append(writer.getvalue())
+        image = CompressedImage(
             algorithm="byte-huffman",
             original_size=len(code),
             block_size=self.block_size,
@@ -50,6 +67,11 @@ class ByteHuffmanCodec:
             model_bytes=(table.table_bits(8) + 7) // 8,
             metadata={"code": table},
         )
+        if rec.enabled:
+            rec.add_bits("model", image.model_bytes * 8)
+            rec.add_bits("lat", image.compact_lat.storage_bytes * 8)
+            rec.count("byte_huffman.blocks_encoded", len(blocks))
+        return image
 
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Union
 
 from repro.fastpath import fastpath_enabled
+from repro.obs import get_recorder
 
 WINDOW_SIZE = 32 * 1024
 MIN_MATCH = 3
@@ -45,11 +46,22 @@ def tokenize(data: bytes) -> List[Token]:
     :mod:`repro.fastpath.lz_kernel` unless ``REPRO_FASTPATH=0``; both
     paths emit the identical token stream.
     """
-    if fastpath_enabled():
-        from repro.fastpath.lz_kernel import tokenize_fast
+    rec = get_recorder()
+    with rec.span("lzss.tokenize"):
+        if fastpath_enabled():
+            from repro.fastpath.lz_kernel import tokenize_fast
 
-        return tokenize_fast(data)
-    return _tokenize_reference(data)
+            tokens = tokenize_fast(data)
+        else:
+            tokens = _tokenize_reference(data)
+    if rec.enabled:
+        literals = sum(1 for token in tokens if isinstance(token, Literal))
+        rec.count("lzss.literals", literals)
+        rec.count("lzss.matches", len(tokens) - literals)
+        for token in tokens:
+            if isinstance(token, Match):
+                rec.observe("lzss.match_length", token.length)
+    return tokens
 
 
 def _tokenize_reference(data: bytes) -> List[Token]:

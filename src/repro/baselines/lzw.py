@@ -16,6 +16,7 @@ from typing import Dict, List
 
 from repro.bitstream.io import BitReader, BitWriter
 from repro.fastpath import fastpath_enabled
+from repro.obs import get_recorder
 
 MIN_BITS = 9
 MAX_BITS = 16
@@ -30,11 +31,20 @@ def lzw_compress(data: bytes) -> bytes:
     :mod:`repro.fastpath.lz_kernel` unless ``REPRO_FASTPATH=0``; both
     paths emit the identical code stream.
     """
-    if fastpath_enabled():
-        from repro.fastpath.lz_kernel import lzw_compress_fast
+    rec = get_recorder()
+    with rec.span("lzw.compress"):
+        if fastpath_enabled():
+            from repro.fastpath.lz_kernel import lzw_compress_fast
 
-        return lzw_compress_fast(data)
-    return _lzw_compress_reference(data)
+            out = lzw_compress_fast(data)
+        else:
+            out = _lzw_compress_reference(data)
+    if rec.enabled:
+        # The whole stream is the 32-bit length header plus code bits
+        # (the final partial byte's padding is charged to the codes).
+        rec.add_bits("header", 32)
+        rec.add_bits("codes", len(out) * 8 - 32)
+    return out
 
 
 def _lzw_compress_reference(data: bytes) -> bytes:
@@ -48,6 +58,7 @@ def _lzw_compress_reference(data: bytes) -> bytes:
     table: Dict[bytes, int] = {bytes([i]): i for i in range(256)}
     next_code = FIRST_CODE
     width = MIN_BITS
+    clear_codes = 0
     prefix = bytes([data[0]])
     for byte in data[1:]:
         candidate = prefix + bytes([byte])
@@ -67,8 +78,11 @@ def _lzw_compress_reference(data: bytes) -> bytes:
             table = {bytes([i]): i for i in range(256)}
             next_code = FIRST_CODE
             width = MIN_BITS
+            clear_codes += 1
         prefix = bytes([byte])
     writer.write_bits(table[prefix], width)
+    if clear_codes:
+        get_recorder().count("lzw.clear_codes", clear_codes)
     return writer.getvalue()
 
 

@@ -6,6 +6,7 @@ Subcommands
 ``suite``       a Figure-7/8 style sweep for one ISA
 ``figure``      regenerate fig7 / fig8 / fig9 directly
 ``simulate``    run the decompress-on-miss memory-system simulation
+``stats``       run a sweep with telemetry on; render bit attribution
 ``bench-diff``  compare two BENCH_codec.json snapshots, flag regressions
 ``check``       static verification: codec invariants + repo lint rules
 """
@@ -60,6 +61,35 @@ def _make_cache(args: argparse.Namespace):
     return ResultCache(args.cache_dir)
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--obs", action="store_true",
+                        help="enable codec telemetry; bit-attribution and "
+                             "span summaries go to stderr (stdout is "
+                             "unchanged)")
+
+
+def _obs_context(args: argparse.Namespace):
+    """An :func:`repro.obs.obs_session` when ``--obs`` was passed, else a
+    no-op context yielding ``None``."""
+    from contextlib import nullcontext
+
+    from repro.obs import obs_session
+
+    if getattr(args, "obs", False):
+        return obs_session()
+    return nullcontext(None)
+
+
+def _print_obs_summary(recorder) -> None:
+    """Render a session recorder's telemetry to stderr."""
+    from repro.obs.render import format_bits_table, format_span_tree
+
+    snapshot = recorder.snapshot()
+    print(format_bits_table(snapshot["bits"]), file=sys.stderr)
+    print(file=sys.stderr)
+    print(format_span_tree(snapshot["spans"]), file=sys.stderr)
+
+
 def _cmd_ratio(args: argparse.Namespace) -> int:
     program = generate_benchmark(args.benchmark, args.isa, args.scale, args.seed)
     ratio = compression_ratio(program.code, args.algorithm, args.isa, args.block_size)
@@ -69,25 +99,36 @@ def _cmd_ratio(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    rows, report = run_suite_with_report(
-        args.isa,
-        algorithms=args.algorithms,
-        scale=args.scale,
-        block_size=args.block_size,
-        names=args.benchmarks or None,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-    )
-    print(format_suite(rows, title=f"Compression ratios — {args.isa}"))
-    # Timing/cache counters go to stderr: stdout stays bit-identical
-    # across --jobs widths and cache states.
-    print(report.format(), file=sys.stderr)
+    with _obs_context(args) as recorder:
+        rows, report = run_suite_with_report(
+            args.isa,
+            algorithms=args.algorithms,
+            scale=args.scale,
+            block_size=args.block_size,
+            names=args.benchmarks or None,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
+        print(format_suite(rows, title=f"Compression ratios — {args.isa}"))
+        # Timing/cache counters go to stderr: stdout stays bit-identical
+        # across --jobs widths and cache states.
+        print(report.format(), file=sys.stderr)
+        if recorder is not None:
+            _print_obs_summary(recorder)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
+    with _obs_context(args) as recorder:
+        status = _run_figure(args, cache)
+        if status == 0 and recorder is not None:
+            _print_obs_summary(recorder)
+    return status
+
+
+def _run_figure(args: argparse.Namespace, cache) -> int:
     if args.name in ("fig7", "fig8"):
         isa = "mips" if args.name == "fig7" else "x86"
         rows, report = run_suite_with_report(
@@ -113,6 +154,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    with _obs_context(args) as recorder:
+        status = _run_simulate(args)
+        if status == 0 and recorder is not None:
+            _print_obs_summary(recorder)
+    return status
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
     program = generate_benchmark(args.benchmark, args.isa, args.scale, args.seed)
     if args.algorithm == "SAMC":
         codec = (SamcCodec.for_mips() if args.isa == "mips"
@@ -159,14 +208,53 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a sweep with telemetry enabled and render the bit attribution.
+
+    Every output bit of every (benchmark, algorithm) cell is attributed
+    to a source category (per-stream coder bits, dictionary tokens,
+    model tables, LAT, padding…); per-cell totals equal the compressed
+    size in bits exactly.  ``--format json`` emits the stable
+    ``repro.obs.render.stats_document`` schema on stdout.
+    """
+    from repro.obs import obs_session
+    from repro.obs.render import (
+        format_bits_table,
+        format_span_tree,
+        stats_document,
+    )
+
+    with obs_session() as recorder:
+        _rows, report = run_suite_with_report(
+            args.isa,
+            algorithms=args.algorithms,
+            scale=args.scale,
+            block_size=args.block_size,
+            names=args.benchmarks or None,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+        )
+        snapshot = recorder.snapshot()
+    if args.format == "json":
+        emit_json(stats_document(snapshot))
+    else:
+        print(format_bits_table(snapshot["bits"]))
+        print()
+        print(format_span_tree(snapshot["spans"]))
+    print(report.format(), file=sys.stderr)
+    return 0
+
+
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
     """Compare two ``BENCH_codec.json`` snapshots from the benchmark harness.
 
     A benchmark regresses when its metric (ns/byte when both snapshots
     carry it, otherwise median ns) grew by more than ``--threshold``
-    (default 15%).  Exit status 1 when any benchmark regressed, so the
-    check can gate CI; benchmarks present in only one snapshot are
-    reported but never fail the diff.
+    (default 15%).  Exit status 1 when any benchmark regressed — or when
+    a benchmark in the baseline is missing from the candidate snapshot
+    (a silently dropped benchmark must not read as a pass); benchmarks
+    only in the candidate are new and merely reported.
     """
     import json
 
@@ -177,6 +265,7 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     old_results = old.get("results", {})
     new_results = new.get("results", {})
     regressions = []
+    missing = []
     lines = []
     for name in sorted(set(old_results) & set(new_results)):
         before, after = old_results[name], new_results[name]
@@ -197,15 +286,23 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
             f"{name}: {b:.1f} -> {a:.1f} {metric} ({change:+.1%}){flag}"
         )
     for name in sorted(set(old_results) - set(new_results)):
-        lines.append(f"{name}: only in {args.old}")
+        missing.append(name)
+        lines.append(f"{name}: missing from {args.new}  <-- MISSING")
     for name in sorted(set(new_results) - set(old_results)):
         lines.append(f"{name}: only in {args.new}")
     print_lines(lines, empty="no comparable benchmarks")
-    return report_failures(
+    if missing:
+        report_failures(
+            len(missing),
+            f"{len(missing)} benchmark(s) from {args.old} missing in "
+            f"{args.new}",
+        )
+    status = report_failures(
         len(regressions),
         f"{len(regressions)} benchmark(s) regressed more than "
         f"{args.threshold:.0%}",
     )
+    return 1 if missing else status
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -286,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=list(FIGURE_ALGORITHMS))
     suite.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES)
     _add_pipeline(suite)
+    _add_obs(suite)
     suite.set_defaults(func=_cmd_suite)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -293,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=1.0)
     figure.add_argument("--seed", type=int, default=0)
     _add_pipeline(figure)
+    _add_obs(figure)
     figure.set_defaults(func=_cmd_figure)
 
     simulate = sub.add_parser("simulate", help="memory-system simulation")
@@ -301,7 +400,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--algorithm", choices=("SAMC", "SADC"), default="SAMC")
     simulate.add_argument("--cache-size", type=int, default=4096)
     simulate.add_argument("--fetches", type=int, default=100_000)
+    _add_obs(simulate)
     simulate.set_defaults(func=_cmd_simulate)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a sweep with telemetry on; render per-benchmark bit "
+             "attribution and span timings",
+    )
+    _add_common(stats)
+    stats.add_argument("--algorithms", nargs="+", choices=ALL_ALGORITHMS,
+                       default=list(FIGURE_ALGORITHMS))
+    stats.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES)
+    stats.add_argument("--format", choices=("text", "json"), default="text")
+    _add_pipeline(stats)
+    stats.set_defaults(func=_cmd_stats)
 
     analyze = sub.add_parser(
         "analyze", help="entropy/compressibility breakdown of a benchmark"

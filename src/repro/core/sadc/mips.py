@@ -53,6 +53,7 @@ from repro.isa.mips.streams import (
     uses_imm16,
     uses_imm26,
 )
+from repro.obs import get_recorder
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -340,6 +341,52 @@ class MipsSadcCodec:
                     encoders["imm26_lo"].encode_to(writer, [rec.imm26 & 0xFF])
         return writer.getvalue()
 
+    def _encode_block_instrumented(
+        self,
+        rec_obs,
+        dictionary: Dictionary,
+        codes: Dict[str, HuffmanCode],
+        block: Sequence[InstrRec],
+        tokens: Sequence[ParsedToken],
+    ) -> bytes:
+        """Obs-on variant of :meth:`_encode_block`: identical writes,
+        with ``writer.bit_length`` deltas charged per stream (the two
+        immediate halves fold into ``imm16`` / ``imm26``)."""
+        writer = BitWriter()
+        encoders = {name: HuffmanEncoder(code) for name, code in codes.items()}
+        per_stream = {"tokens": 0, "regs": 0, "imm16": 0, "imm26": 0}
+
+        def write(stream: str, encoder_name: str, symbol: int) -> None:
+            before = writer.bit_length
+            encoders[encoder_name].encode_to(writer, [symbol])
+            per_stream[stream] += writer.bit_length - before
+
+        for index, pos in tokens:
+            write("tokens", "tokens", index)
+            entry = dictionary.entries[index]
+            for j in range(entry.length):
+                instr = block[pos + j]
+                for slot, value in enumerate(instr.regs):
+                    if entry.reg_binding(j, slot) is None:
+                        write("regs", "regs", value)
+                if instr.imm16 is not None and entry.imm16_binding(j) is None:
+                    write("imm16", "imm16_hi", instr.imm16 >> 8)
+                    write("imm16", "imm16_lo", instr.imm16 & 0xFF)
+                if instr.imm26 is not None and entry.imm26_binding(j) is None:
+                    write("imm26", "imm26_hi", instr.imm26 >> 16)
+                    write("imm26", "imm26_lo", (instr.imm26 >> 8) & 0xFF)
+                    write("imm26", "imm26_lo", instr.imm26 & 0xFF)
+        payload = writer.getvalue()
+        for stream, bits in per_stream.items():
+            if bits:
+                rec_obs.add_bits(stream, bits)
+        pad = len(payload) * 8 - writer.bit_length
+        if pad:
+            rec_obs.add_bits("padding", pad)
+        rec_obs.count("sadc.tokens_emitted", len(tokens))
+        rec_obs.count("sadc.blocks_encoded")
+        return payload
+
     def _table_bits(self, codes: Dict[str, HuffmanCode]) -> int:
         widths = {
             "tokens": 8,
@@ -378,18 +425,29 @@ class MipsSadcCodec:
         fit to this program.  Default is the paper's semiadaptive mode —
         a fresh dictionary grown for this program.
         """
+        rec = get_recorder()
         blocks = self._decode_blocks(code)
         if dictionary is None:
-            dictionary = self.build_dictionary(blocks)
+            with rec.span("sadc.build_dictionary", isa="mips"):
+                dictionary = self.build_dictionary(blocks)
         parses = [parse_block(dictionary, block) for block in blocks]
         counters = self._collect_symbols(dictionary, blocks, parses)
         codes = {name: build_code(counter) for name, counter in counters.items()}
-        payload = [
-            self._encode_block(dictionary, codes, block, tokens)
-            for block, tokens in zip(blocks, parses)
-        ]
+        if rec.enabled:
+            with rec.span("sadc.encode", isa="mips"):
+                payload = [
+                    self._encode_block_instrumented(
+                        rec, dictionary, codes, block, tokens
+                    )
+                    for block, tokens in zip(blocks, parses)
+                ]
+        else:
+            payload = [
+                self._encode_block(dictionary, codes, block, tokens)
+                for block, tokens in zip(blocks, parses)
+            ]
         model_bits = dictionary.storage_bits + self._table_bits(codes)
-        return CompressedImage(
+        image = CompressedImage(
             algorithm="SADC",
             original_size=len(code),
             block_size=self.block_size,
@@ -401,6 +459,15 @@ class MipsSadcCodec:
                 "codes": codes,
             },
         )
+        if rec.enabled:
+            rec.add_bits("model.dictionary", dictionary.storage_bits)
+            rec.add_bits("model.tables", self._table_bits(codes))
+            model_pad = image.model_bytes * 8 - model_bits
+            if model_pad:
+                rec.add_bits("model.pad", model_pad)
+            rec.add_bits("lat", image.compact_lat.storage_bytes * 8)
+            rec.gauge("sadc.dictionary_entries", len(dictionary.entries))
+        return image
 
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(

@@ -32,6 +32,7 @@ from repro.entropy.huffman import (
     build_code,
 )
 from repro.isa.x86.formats import X86Instruction, decode_all
+from repro.obs import get_recorder
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -197,9 +198,49 @@ class X86SadcCodec:
 
     # -- coding -----------------------------------------------------------
 
+    def _encode_block_instrumented(self, rec, codes, block, tokens) -> bytes:
+        """Obs-on block encode: identical writes to the inline loop in
+        :meth:`compress`, with ``writer.bit_length`` deltas charged to
+        the ``tokens`` / ``modrm_sib`` / ``imm_disp`` streams."""
+        writer = BitWriter()
+        token_encoder = HuffmanEncoder(codes["tokens"])
+        modrm_encoder = HuffmanEncoder(codes["modrm_sib"])
+        imm_encoder = HuffmanEncoder(codes["imm_disp"])
+        mark = writer.bit_length
+        token_encoder.encode_to(writer, tokens)
+        token_bits = writer.bit_length - mark
+        modrm_bits = 0
+        imm_bits = 0
+        for instruction in block:
+            mark = writer.bit_length
+            if instruction.modrm is not None:
+                modrm_encoder.encode_to(writer, [instruction.modrm])
+            if instruction.sib is not None:
+                modrm_encoder.encode_to(writer, [instruction.sib])
+            modrm_bits += writer.bit_length - mark
+            mark = writer.bit_length
+            imm_encoder.encode_to(writer, list(instruction.disp))
+            imm_encoder.encode_to(writer, list(instruction.imm))
+            imm_bits += writer.bit_length - mark
+        payload = writer.getvalue()
+        if token_bits:
+            rec.add_bits("tokens", token_bits)
+        if modrm_bits:
+            rec.add_bits("modrm_sib", modrm_bits)
+        if imm_bits:
+            rec.add_bits("imm_disp", imm_bits)
+        pad = len(payload) * 8 - writer.bit_length
+        if pad:
+            rec.add_bits("padding", pad)
+        rec.count("sadc.tokens_emitted", len(tokens))
+        rec.count("sadc.blocks_encoded")
+        return payload
+
     def compress(self, code: bytes) -> CompressedImage:
+        rec = get_recorder()
         blocks = self._decode_blocks(code)
-        dictionary = self.build_dictionary(blocks)
+        with rec.span("sadc.build_dictionary", isa="x86"):
+            dictionary = self.build_dictionary(blocks)
         per_block_entries = [
             [_opcode_entry(i) for i in block] for block in blocks
         ]
@@ -225,21 +266,28 @@ class X86SadcCodec:
             "imm_disp": build_code(imm_counts),
         }
 
-        payload: List[bytes] = []
-        for block, tokens in zip(blocks, parses):
-            writer = BitWriter()
-            token_encoder = HuffmanEncoder(codes["tokens"])
-            modrm_encoder = HuffmanEncoder(codes["modrm_sib"])
-            imm_encoder = HuffmanEncoder(codes["imm_disp"])
-            token_encoder.encode_to(writer, tokens)
-            for instruction in block:
-                if instruction.modrm is not None:
-                    modrm_encoder.encode_to(writer, [instruction.modrm])
-                if instruction.sib is not None:
-                    modrm_encoder.encode_to(writer, [instruction.sib])
-                imm_encoder.encode_to(writer, list(instruction.disp))
-                imm_encoder.encode_to(writer, list(instruction.imm))
-            payload.append(writer.getvalue())
+        if rec.enabled:
+            with rec.span("sadc.encode", isa="x86"):
+                payload = [
+                    self._encode_block_instrumented(rec, codes, block, tokens)
+                    for block, tokens in zip(blocks, parses)
+                ]
+        else:
+            payload = []
+            for block, tokens in zip(blocks, parses):
+                writer = BitWriter()
+                token_encoder = HuffmanEncoder(codes["tokens"])
+                modrm_encoder = HuffmanEncoder(codes["modrm_sib"])
+                imm_encoder = HuffmanEncoder(codes["imm_disp"])
+                token_encoder.encode_to(writer, tokens)
+                for instruction in block:
+                    if instruction.modrm is not None:
+                        modrm_encoder.encode_to(writer, [instruction.modrm])
+                    if instruction.sib is not None:
+                        modrm_encoder.encode_to(writer, [instruction.sib])
+                    imm_encoder.encode_to(writer, list(instruction.disp))
+                    imm_encoder.encode_to(writer, list(instruction.imm))
+                payload.append(writer.getvalue())
 
         model_bits = (
             dictionary.storage_bits
@@ -247,7 +295,7 @@ class X86SadcCodec:
             + codes["modrm_sib"].table_bits(8)
             + codes["imm_disp"].table_bits(8)
         )
-        return CompressedImage(
+        image = CompressedImage(
             algorithm="SADC",
             original_size=len(code),
             block_size=self.block_size,
@@ -260,6 +308,15 @@ class X86SadcCodec:
                 "block_instruction_counts": [len(b) for b in blocks],
             },
         )
+        if rec.enabled:
+            rec.add_bits("model.dictionary", dictionary.storage_bits)
+            rec.add_bits("model.tables", model_bits - dictionary.storage_bits)
+            model_pad = image.model_bytes * 8 - model_bits
+            if model_pad:
+                rec.add_bits("model.pad", model_pad)
+            rec.add_bits("lat", image.compact_lat.storage_bytes * 8)
+            rec.gauge("sadc.dictionary_entries", len(dictionary.entries))
+        return image
 
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(

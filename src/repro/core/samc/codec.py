@@ -25,6 +25,7 @@ from repro.core.lat import CompressedImage
 from repro.core.samc.model import SamcModel
 from repro.core.samc.streams import contiguous_streams, optimize_streams
 from repro.fastpath import fastpath_enabled
+from repro.obs import get_recorder
 from repro.entropy.arith import (
     BinaryArithmeticDecoder,
     BinaryArithmeticEncoder,
@@ -126,6 +127,51 @@ class SamcCodec:
             words[i : i + per_block] for i in range(0, len(words), per_block)
         ]
 
+    def _bit_labels(self, model: SamcModel) -> List[tuple]:
+        """Per-word coding order: the ``(stream, depth)`` of each bit.
+
+        The walk in :meth:`SamcModel.walk_encode` visits bits stream by
+        stream, depth by depth, so bit ``i`` of every word maps to the
+        same label — the key the bit-accounting channel attributes
+        arithmetic-coder output to.
+        """
+        return [
+            (index, depth)
+            for index, spec in enumerate(model.specs)
+            for depth in range(spec.k)
+        ]
+
+    def _encode_block_instrumented(self, model: SamcModel, block_words) -> bytes:
+        """Reference encode of one block with per-(stream, depth) bit
+        attribution.  Byte-identical to the plain path: the only change
+        is measuring ``bytes_emitted`` around each coded bit."""
+        rec = get_recorder()
+        encoder = BinaryArithmeticEncoder()
+        labels = self._bit_labels(model)
+        n_labels = len(labels)
+        per_label: dict = {}
+        state = [0]  # bit index within the block walk
+
+        def emit(bit: int, p0_q: int) -> None:
+            before = encoder.bytes_emitted
+            encoder.encode_bit(bit, p0_q)
+            delta = encoder.bytes_emitted - before
+            if delta:
+                label = labels[state[0] % n_labels]
+                per_label[label] = per_label.get(label, 0) + delta * 8
+            state[0] += 1
+
+        model.walk_encode(block_words, emit)
+        coded = encoder.bytes_emitted
+        payload = encoder.finish()
+        for (stream, depth), bits in sorted(per_label.items()):
+            rec.add_bits(f"stream{stream}", bits)
+            rec.count(f"samc.stream{stream}.depth{depth}.bits", bits)
+        rec.add_bits("flush", (len(payload) - coded) * 8)
+        rec.count("samc.blocks_encoded")
+        rec.count("samc.words_encoded", len(block_words))
+        return payload
+
     def train(self, code: bytes) -> SamcModel:
         """First pass: build and freeze the Markov model for a program."""
         streams = self.streams
@@ -160,21 +206,30 @@ class SamcCodec:
                 f"code length {len(code)} is not a multiple of the "
                 f"{self.word_bytes}-byte word size"
             )
-        model = self.train(code)
+        rec = get_recorder()
+        with rec.span("samc.train", word_bits=self.word_bits):
+            model = self.train(code)
         if fastpath_enabled():
             from repro.fastpath.samc_kernel import compiled_model
 
-            blocks = compiled_model(model).encode_blocks(
-                chunk_words(code, self.word_bytes),
-                self.block_size // self.word_bytes,
-            )
+            with rec.span("samc.encode", path="fastpath"):
+                blocks = compiled_model(model).encode_blocks(
+                    chunk_words(code, self.word_bytes),
+                    self.block_size // self.word_bytes,
+                )
+        elif rec.enabled:
+            with rec.span("samc.encode", path="reference"):
+                blocks = [
+                    self._encode_block_instrumented(model, block_words)
+                    for block_words in self._block_words(code)
+                ]
         else:
             blocks = []
             for block_words in self._block_words(code):
                 encoder = BinaryArithmeticEncoder()
                 model.walk_encode(block_words, encoder.encode_bit)
                 blocks.append(encoder.finish())
-        return CompressedImage(
+        image = CompressedImage(
             algorithm="SAMC",
             original_size=len(code),
             block_size=self.block_size,
@@ -188,6 +243,13 @@ class SamcCodec:
                 "probability_mode": self.probability_mode,
             },
         )
+        if rec.enabled:
+            rec.add_bits("model", image.model_bytes * 8)
+            rec.add_bits("lat", image.compact_lat.storage_bytes * 8)
+            rec.gauge("samc.model_bytes", image.model_bytes)
+            for block in blocks:
+                rec.observe("samc.block_payload_bytes", len(block))
+        return image
 
     def decompress(self, image: CompressedImage) -> bytes:
         """Decompress a full image (all blocks, in order)."""
@@ -206,13 +268,18 @@ class SamcCodec:
         payload = image.blocks[block_index]
         block_bytes = self._original_block_bytes(image, block_index)
         word_count = block_bytes // self.word_bytes
-        if fastpath_enabled():
-            from repro.fastpath.samc_kernel import compiled_model
+        rec = get_recorder()
+        with rec.span("samc.decode_block"):
+            if fastpath_enabled():
+                from repro.fastpath.samc_kernel import compiled_model
 
-            words = compiled_model(model).decode_block(payload, word_count)
-        else:
-            decoder = BinaryArithmeticDecoder(payload)
-            words = model.walk_decode(word_count, decoder.decode_bit)
+                words = compiled_model(model).decode_block(payload, word_count)
+            else:
+                decoder = BinaryArithmeticDecoder(payload)
+                words = model.walk_decode(word_count, decoder.decode_bit)
+        if rec.enabled:
+            rec.count("samc.blocks_decoded")
+            rec.count("samc.words_decoded", word_count)
         return words_to_bytes(words, self.word_bytes)
 
     def _original_block_bytes(self, image: CompressedImage, block_index: int) -> int:

@@ -130,6 +130,7 @@ def lzw_compress_fast(data: bytes) -> bytes:
     max_code = 1 << MAX_BITS
     next_code = FIRST_CODE
     width = MIN_BITS
+    clear_codes = 0
     prefix = data[0]
     for byte in data[1:]:
         key = (prefix << 8) | byte
@@ -150,6 +151,11 @@ def lzw_compress_fast(data: bytes) -> bytes:
             table.clear()
             next_code = FIRST_CODE
             width = MIN_BITS
+            clear_codes += 1
         prefix = byte
     write_bits(prefix, width)
+    if clear_codes:
+        from repro.obs import get_recorder
+
+        get_recorder().count("lzw.clear_codes", clear_codes)
     return writer.getvalue()

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.entropy.arith import PROB_BITS, flush_interval
 from repro.core.samc.model import SamcModel
+from repro.obs import get_recorder
 
 _MASK = 0xFFFFFFFF
 _TOP = 1 << 24
@@ -157,6 +158,11 @@ class CompiledSamcModel:
         width = self.width
         bits_flat = np.concatenate(bit_cols, axis=1).ravel().tolist()
         probs_flat = np.concatenate(prob_cols, axis=1).ravel().tolist()
+        rec = get_recorder()
+        if rec.enabled:
+            return self._encode_blocks_instrumented(
+                rec, bits_flat, probs_flat, n, words_per_block
+            )
         return [
             _encode_span(
                 bits_flat[start * width : min(n, start + words_per_block) * width],
@@ -164,6 +170,38 @@ class CompiledSamcModel:
             )
             for start in range(0, n, words_per_block)
         ]
+
+    def _encode_blocks_instrumented(
+        self, rec, bits_flat, probs_flat, n, words_per_block
+    ) -> List[bytes]:
+        """Obs-on encode path: same spans through :func:`_encode_span_obs`,
+        which attributes renormalisation bytes to the (stream, depth) bit
+        that forced them — output stays byte-identical."""
+        width = self.width
+        labels = [
+            (index, depth)
+            for index, spec in enumerate(self.specs)
+            for depth in range(spec.k)
+        ]
+        per_label: dict = {}
+        flush_bits = 0
+        payloads: List[bytes] = []
+        for start in range(0, n, words_per_block):
+            payload, block_flush = _encode_span_obs(
+                bits_flat[start * width : min(n, start + words_per_block) * width],
+                probs_flat[start * width : min(n, start + words_per_block) * width],
+                labels,
+                per_label,
+            )
+            flush_bits += block_flush
+            payloads.append(payload)
+        for (stream, depth), bits in sorted(per_label.items()):
+            rec.add_bits(f"stream{stream}", bits)
+            rec.count(f"samc.stream{stream}.depth{depth}.bits", bits)
+        rec.add_bits("flush", flush_bits)
+        rec.count("samc.blocks_encoded", len(payloads))
+        rec.count("samc.words_encoded", n)
+        return payloads
 
     # -- decode --------------------------------------------------------
 
@@ -249,6 +287,51 @@ def _encode_span(bits: List[int], probs: List[int]) -> bytes:
             rng = (rng << 8) & mask
     flush_interval(low, rng, out)
     return bytes(out)
+
+
+def _encode_span_obs(
+    bits: List[int], probs: List[int], labels: List[tuple], per_label: dict
+) -> Tuple[bytes, int]:
+    """:func:`_encode_span` with bit attribution (obs-on path only).
+
+    Identical coding loop; after each coded bit the renormalisation
+    bytes just appended are charged (as bits) to that bit's
+    ``(stream, depth)`` label in ``per_label``.  Returns the payload and
+    the flush size in bits, which the caller accounts separately.
+    """
+    mask, top, bot, prob_bits = _MASK, _TOP, _BOT, PROB_BITS
+    low = 0
+    rng = mask
+    out = bytearray()
+    append = out.append
+    n_labels = len(labels)
+    position = 0
+    for bit, p0 in zip(bits, probs):
+        before = len(out)
+        split = (rng >> prob_bits) * p0
+        if bit:
+            low = (low + split) & mask
+            rng -= split
+        else:
+            rng = split
+        while True:
+            if ((low ^ (low + rng)) & mask) < top:
+                pass
+            elif rng < bot:
+                rng = (-low) & (bot - 1)
+            else:
+                break
+            append((low >> 24) & 0xFF)
+            low = (low << 8) & mask
+            rng = (rng << 8) & mask
+        emitted = len(out) - before
+        if emitted:
+            label = labels[position % n_labels]
+            per_label[label] = per_label.get(label, 0) + emitted * 8
+        position += 1
+    coded = len(out)
+    flush_interval(low, rng, out)
+    return bytes(out), (len(out) - coded) * 8
 
 
 def compiled_model(model: SamcModel) -> CompiledSamcModel:

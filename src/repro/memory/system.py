@@ -16,6 +16,7 @@ from repro.core.lat import CompressedImage
 from repro.memory.cache import CacheStats, InstructionCache
 from repro.memory.clb import CLB, CLBStats
 from repro.memory.refill import RefillEngine, RefillTiming
+from repro.obs import get_recorder
 
 
 @dataclass
@@ -86,6 +87,20 @@ class CompressedMemorySystem:
 
     def run(self, trace: Iterable[int]) -> SimulationResult:
         """Simulate a fetch trace; each hit costs 1 cycle."""
+        rec = get_recorder()
+        if rec.enabled:
+            cycles, fetches = self._run_instrumented(rec, trace)
+        else:
+            cycles, fetches = self._run_plain(trace)
+        return SimulationResult(
+            algorithm=self.engine.algorithm,
+            cycles=cycles,
+            fetches=fetches,
+            cache=self.cache.stats,
+            clb=self.clb.stats if self.clb is not None else None,
+        )
+
+    def _run_plain(self, trace: Iterable[int]) -> tuple:
         cycles = 0
         fetches = 0
         for address in trace:
@@ -101,13 +116,50 @@ class CompressedMemorySystem:
             cycles += 1 + self.engine.refill_cycles(
                 compressed, decompressed, clb_hit
             )
-        return SimulationResult(
-            algorithm=self.engine.algorithm,
-            cycles=cycles,
-            fetches=fetches,
-            cache=self.cache.stats,
-            clb=self.clb.stats if self.clb is not None else None,
-        )
+        return cycles, fetches
+
+    def _run_instrumented(self, rec, trace: Iterable[int]) -> tuple:
+        """The same loop as :meth:`_run_plain`, plus refill-stall and
+        CLB-hit accounting (counters and a stall-size histogram)."""
+        cycles = 0
+        fetches = 0
+        hits = 0
+        misses = 0
+        clb_hits = 0
+        clb_misses = 0
+        stall_cycles = 0
+        with rec.span("memory.run", algorithm=self.engine.algorithm):
+            for address in trace:
+                fetches += 1
+                if self.cache.access(address):
+                    cycles += 1
+                    hits += 1
+                    continue
+                misses += 1
+                block_index = self.cache.block_index(address)
+                clb_hit = True
+                if self.clb is not None:
+                    clb_hit = self.clb.lookup(block_index)
+                    if clb_hit:
+                        clb_hits += 1
+                    else:
+                        clb_misses += 1
+                compressed, decompressed = self._block_sizes(block_index)
+                refill = self.engine.refill_cycles(
+                    compressed, decompressed, clb_hit
+                )
+                stall_cycles += refill
+                rec.observe("memory.refill_stall_cycles", refill)
+                cycles += 1 + refill
+        prefix = f"memory.{self.engine.algorithm}"
+        rec.count(f"{prefix}.fetches", fetches)
+        rec.count(f"{prefix}.cache_hits", hits)
+        rec.count(f"{prefix}.cache_misses", misses)
+        rec.count(f"{prefix}.refill_stall_cycles", stall_cycles)
+        if self.clb is not None:
+            rec.count(f"{prefix}.clb_hits", clb_hits)
+            rec.count(f"{prefix}.clb_misses", clb_misses)
+        return cycles, fetches
 
 
 def simulate(

@@ -1,0 +1,124 @@
+"""Codec telemetry: spans, typed metrics, and bit-accounting.
+
+A zero-dependency observability layer for the whole compression stack.
+Three channels, one recorder:
+
+* **Spans** — nested timed regions on monotonic clocks, aggregated by
+  path (``pipeline.run/job{...}/samc.encode``) so traces from every
+  worker process merge into one tree.
+* **Metric instruments** — counters, high-water-mark gauges, and
+  histograms with fixed exponential bucketing (merges are deterministic
+  regardless of process interleaving).
+* **Bit accounting** — codecs attribute every output bit to a category
+  (per-stream arithmetic-coder bits, dictionary tokens vs operand
+  streams, model tables, LAT, padding) under a ``benchmark/isa/algo``
+  scope; per-scope totals equal the compressed size in bits exactly.
+
+**Off by default, free when off.**  The ambient recorder is a
+:class:`~repro.obs.recorder.NullRecorder` unless ``REPRO_OBS=1`` is set
+(or a CLI ``--obs`` flag / :func:`obs_session` enables it), and every
+instrumentation site branches on ``recorder.enabled`` so the disabled
+hot paths execute exactly the pre-instrumentation code.  Golden vectors
+and benchmark medians pin that property.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Union
+
+from repro.obs.recorder import (
+    NullRecorder,
+    Recorder,
+    empty_snapshot,
+    merge_snapshots,
+)
+
+#: Environment variable that enables telemetry at interpreter start;
+#: also how the pipeline's pool workers inherit the setting.
+OBS_ENV = "REPRO_OBS"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(OBS_ENV, "").lower() in _TRUTHY
+
+
+#: The ambient recorder every instrumentation site consults.
+_RECORDER: Union[NullRecorder, Recorder] = (
+    Recorder() if _env_enabled() else NullRecorder()
+)
+
+
+def get_recorder() -> Union[NullRecorder, Recorder]:
+    """The ambient recorder (a no-op :class:`NullRecorder` when off)."""
+    return _RECORDER
+
+
+def set_recorder(
+    recorder: Union[NullRecorder, Recorder],
+) -> Union[NullRecorder, Recorder]:
+    """Install ``recorder`` as ambient; returns the previous one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+def obs_enabled() -> bool:
+    """True when the ambient recorder is live."""
+    return _RECORDER.enabled
+
+
+@contextmanager
+def use_recorder(recorder: Union[NullRecorder, Recorder]):
+    """Temporarily swap the ambient recorder (process-wide).
+
+    The pipeline worker entry point uses this to isolate one job's
+    telemetry into a fresh recorder whose snapshot travels back in the
+    job payload.
+    """
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+@contextmanager
+def obs_session(scope: str = ""):
+    """Enable telemetry for a block: fresh recorder + ``REPRO_OBS=1``.
+
+    Setting the environment variable (not just the in-process recorder)
+    is what lets ``ProcessPoolExecutor`` workers — fork or spawn — come
+    up with telemetry already enabled; both the variable and the ambient
+    recorder are restored on exit.
+    """
+    recorder = Recorder(scope=scope)
+    previous_env = os.environ.get(OBS_ENV)
+    os.environ[OBS_ENV] = "1"
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+        if previous_env is None:
+            os.environ.pop(OBS_ENV, None)
+        else:
+            os.environ[OBS_ENV] = previous_env
+
+
+__all__ = [
+    "OBS_ENV",
+    "NullRecorder",
+    "Recorder",
+    "empty_snapshot",
+    "get_recorder",
+    "merge_snapshots",
+    "obs_enabled",
+    "obs_session",
+    "set_recorder",
+    "use_recorder",
+]

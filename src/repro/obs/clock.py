@@ -1,0 +1,26 @@
+"""The one sanctioned wall-clock boundary of the package.
+
+Every timing measurement in :mod:`repro` flows through these two
+functions — the ``no-wallclock-in-codec`` lint rule
+(:mod:`repro.verify.rules`) forbids direct ``time.time()`` /
+``time.perf_counter()`` calls everywhere outside ``obs/``, so codec and
+pipeline code cannot grow ad-hoc timing that bypasses the tracer.  Both
+clocks are monotonic: span durations never go negative across NTP slews.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic_ns() -> int:
+    """Monotonic nanoseconds; the tracer's span clock."""
+    return time.perf_counter_ns()
+
+
+def perf_seconds() -> float:
+    """Monotonic float seconds, for coarse wall-time accounting."""
+    return time.perf_counter()
+
+
+__all__ = ["monotonic_ns", "perf_seconds"]

@@ -1,0 +1,69 @@
+"""Typed metric instruments: counters, gauges, exponential histograms.
+
+The instruments live as plain dicts inside the recorder; this module
+holds the value semantics, chosen so that **merging is deterministic**:
+
+* counters add;
+* gauges keep the maximum (the only commutative, associative choice
+  that needs no timestamps — "high-water mark" semantics);
+* histograms use *fixed* exponential bucketing — bucket ``i`` holds
+  values ``v`` with ``bit_length(v) == i`` (i.e. ``2**(i-1) <= v <
+  2**i``), bucket 0 holds ``v <= 0`` — so two histograms built in
+  different processes always share bucket boundaries and merge by
+  plain per-bucket addition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Largest histogram bucket index; values beyond 2**63 clamp here.
+BUCKET_CAP = 64
+
+
+def bucket_index(value: int) -> int:
+    """Fixed exponential bucket of a non-negative integer observation."""
+    if value <= 0:
+        return 0
+    return min(int(value).bit_length(), BUCKET_CAP)
+
+
+def bucket_bounds(index: int) -> tuple:
+    """Inclusive-exclusive ``[lo, hi)`` value range of a bucket."""
+    if index <= 0:
+        return (0, 1)
+    return (1 << (index - 1), 1 << index)
+
+
+def new_histogram() -> Dict[str, object]:
+    """An empty histogram cell (buckets keyed by int index)."""
+    return {"buckets": {}, "count": 0, "total": 0}
+
+
+def observe(histogram: Dict[str, object], value: int) -> None:
+    """Record one observation into a histogram cell."""
+    buckets = histogram["buckets"]
+    index = bucket_index(value)
+    buckets[index] = buckets.get(index, 0) + 1
+    histogram["count"] += 1
+    histogram["total"] += int(value)
+
+
+def merge_histogram(into: Dict[str, object], other: Dict[str, object]) -> None:
+    """Merge ``other`` into ``into``; deterministic (pure addition)."""
+    buckets = into["buckets"]
+    for index, count in other["buckets"].items():
+        index = int(index)
+        buckets[index] = buckets.get(index, 0) + count
+    into["count"] += other["count"]
+    into["total"] += other["total"]
+
+
+__all__ = [
+    "BUCKET_CAP",
+    "bucket_bounds",
+    "bucket_index",
+    "merge_histogram",
+    "new_histogram",
+    "observe",
+]

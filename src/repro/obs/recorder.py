@@ -1,0 +1,292 @@
+"""The telemetry recorder: spans, metric instruments, bit accounting.
+
+Two implementations share one duck-typed interface:
+
+* :class:`NullRecorder` — the default.  Every method is a no-op and
+  ``enabled`` is ``False``, so instrumentation sites can branch with a
+  single attribute read and the hot paths never pay for telemetry.
+* :class:`Recorder` — the live implementation.  Thread-safe (one lock
+  around all mutations; span stacks and bit-accounting scopes are
+  thread-local), and **mergeable**: :meth:`Recorder.snapshot` produces
+  a plain-dict state that pickles across the pipeline's process pool,
+  and :meth:`Recorder.merge_snapshot` folds a worker's snapshot back in.
+
+Aggregation model: spans are not stored as individual events but
+aggregated by *path* — the ``/``-joined chain of enclosing span names
+(attributes fold into the name as ``name{k=v,...}``).  Each path keeps
+``count / total_ns / min_ns / max_ns``, which is what the flamegraph-
+style tree renders and what merges associatively across processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.clock import monotonic_ns
+from repro.obs.metrics import merge_histogram, new_histogram, observe
+
+SNAPSHOT_VERSION = 1
+
+
+def empty_snapshot() -> Dict[str, object]:
+    """The shape every snapshot and merge target starts from."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "bits": {},
+        "spans": {},
+    }
+
+
+def merge_into(target: Dict[str, object], snap: Dict[str, object]) -> None:
+    """Fold one snapshot into another (addition / max; deterministic)."""
+    counters = target["counters"]
+    for name, value in snap.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = target["gauges"]
+    for name, value in snap.get("gauges", {}).items():
+        gauges[name] = max(gauges[name], value) if name in gauges else value
+    histograms = target["histograms"]
+    for name, cell in snap.get("histograms", {}).items():
+        if name not in histograms:
+            histograms[name] = new_histogram()
+        merge_histogram(histograms[name], cell)
+    bits = target["bits"]
+    for scope, categories in snap.get("bits", {}).items():
+        mine = bits.setdefault(scope, {})
+        for category, value in categories.items():
+            mine[category] = mine.get(category, 0) + value
+    spans = target["spans"]
+    for path, cell in snap.get("spans", {}).items():
+        mine = spans.get(path)
+        if mine is None:
+            spans[path] = dict(cell)
+        else:
+            mine["count"] += cell["count"]
+            mine["total_ns"] += cell["total_ns"]
+            mine["min_ns"] = min(mine["min_ns"], cell["min_ns"])
+            mine["max_ns"] = max(mine["max_ns"], cell["max_ns"])
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Merge many snapshots into a fresh one (order-insensitive)."""
+    merged = empty_snapshot()
+    for snap in snapshots:
+        merge_into(merged, snap)
+    return merged
+
+
+class _NullContext:
+    """Reusable no-op context manager (cheaper than a generator)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    Instrumentation sites that do per-event work (measuring deltas,
+    building label tables) must branch on :attr:`enabled` and keep the
+    uninstrumented code path byte-for-byte what it was — that is what
+    makes telemetry *provably* free when off.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def scope(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value) -> None:
+        pass
+
+    def observe(self, name: str, value: int) -> None:
+        pass
+
+    def add_bits(self, category: str, bits: int, scope: Optional[str] = None) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return empty_snapshot()
+
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        pass
+
+
+def span_label(name: str, attrs: Dict[str, object]) -> str:
+    """Fold span attributes into the aggregation name, sorted for
+    determinism: ``job{algorithm=SAMC,benchmark=gcc}``."""
+    if not attrs:
+        return name
+    inner = ",".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f"{name}{{{inner}}}"
+
+
+class Recorder:
+    """The live recorder.  See the module docstring for the data model.
+
+    ``scope`` is the default bit-accounting scope used when no
+    :meth:`scope` context is active — the pipeline sets it to
+    ``benchmark/isa/algorithm`` for each worker-side job recorder, so
+    codecs can attribute bits without knowing what program they are
+    compressing.
+    """
+
+    enabled = True
+
+    def __init__(self, scope: str = "") -> None:
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._default_scope = scope
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, object] = {}
+        self.histograms: Dict[str, Dict[str, object]] = {}
+        self.bits: Dict[str, Dict[str, int]] = {}
+        self.spans: Dict[str, Dict[str, int]] = {}
+
+    # -- thread-local state -------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_scope(self) -> str:
+        return getattr(self._tls, "scope", self._default_scope)
+
+    # -- spans ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a nested region; aggregates under the span-stack path."""
+        stack = self._stack()
+        stack.append(span_label(name, attrs))
+        path = "/".join(stack)
+        started = monotonic_ns()
+        try:
+            yield self
+        finally:
+            elapsed = monotonic_ns() - started
+            stack.pop()
+            with self._lock:
+                cell = self.spans.get(path)
+                if cell is None:
+                    self.spans[path] = {
+                        "count": 1,
+                        "total_ns": elapsed,
+                        "min_ns": elapsed,
+                        "max_ns": elapsed,
+                    }
+                else:
+                    cell["count"] += 1
+                    cell["total_ns"] += elapsed
+                    if elapsed < cell["min_ns"]:
+                        cell["min_ns"] = elapsed
+                    if elapsed > cell["max_ns"]:
+                        cell["max_ns"] = elapsed
+
+    # -- bit accounting ------------------------------------------------
+
+    @contextmanager
+    def scope(self, name: str):
+        """Route :meth:`add_bits` calls to the named accounting scope."""
+        previous = getattr(self._tls, "scope", None)
+        self._tls.scope = name
+        try:
+            yield self
+        finally:
+            if previous is None:
+                del self._tls.scope
+            else:
+                self._tls.scope = previous
+
+    def add_bits(self, category: str, bits: int, scope: Optional[str] = None) -> None:
+        """Attribute ``bits`` output bits to ``category`` in a scope."""
+        key = scope if scope is not None else self.current_scope()
+        with self._lock:
+            categories = self.bits.setdefault(key, {})
+            categories[category] = categories.get(category, 0) + bits
+
+    # -- metric instruments -------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value) -> None:
+        with self._lock:
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        with self._lock:
+            cell = self.histograms.get(name)
+            if cell is None:
+                cell = self.histograms[name] = new_histogram()
+            observe(cell, value)
+
+    # -- serialisation -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deep plain-dict copy of the state; pickles across the pool."""
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: {
+                        "buckets": dict(cell["buckets"]),
+                        "count": cell["count"],
+                        "total": cell["total"],
+                    }
+                    for name, cell in self.histograms.items()
+                },
+                "bits": {
+                    scope: dict(categories)
+                    for scope, categories in self.bits.items()
+                },
+                "spans": {path: dict(cell) for path, cell in self.spans.items()},
+            }
+
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        """Fold a snapshot (e.g. from a pool worker) into this recorder."""
+        with self._lock:
+            state = {
+                "counters": self.counters,
+                "gauges": self.gauges,
+                "histograms": self.histograms,
+                "bits": self.bits,
+                "spans": self.spans,
+            }
+            merge_into(state, snap)
+
+
+__all__ = [
+    "NullRecorder",
+    "Recorder",
+    "empty_snapshot",
+    "merge_into",
+    "merge_snapshots",
+    "span_label",
+]

@@ -1,0 +1,146 @@
+"""Renderers for telemetry snapshots: bit tables, span trees, JSON.
+
+The text renderers feed ``python -m repro stats``; they consume the
+plain-dict snapshot shape (:func:`repro.obs.recorder.empty_snapshot`)
+and nothing else, so any merged snapshot — single process or rolled up
+across the pool — renders the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.metrics import bucket_bounds
+
+#: JSON document schema version for ``repro stats --format json``.
+STATS_SCHEMA_VERSION = 1
+
+
+def format_bits_table(bits: Dict[str, Dict[str, int]]) -> str:
+    """Per-scope bit-attribution tables.
+
+    One section per accounting scope (``benchmark/isa/algorithm``), one
+    row per category, with the share of the total; the ``total`` row is
+    the compressed size in bits (the invariant the tests assert).
+    """
+    if not bits:
+        return "no bit-accounting data (was the obs layer enabled?)"
+    sections: List[str] = []
+    for scope in sorted(bits):
+        categories = bits[scope]
+        total = sum(categories.values())
+        width = max(
+            [len(category) for category in categories] + [len("total")]
+        )
+        lines = [f"{scope or '(global)'}", f"  {'category'.ljust(width)} {'bits':>12} {'share':>7}"]
+        for category in sorted(categories):
+            value = categories[category]
+            share = (100.0 * value / total) if total else 0.0
+            lines.append(
+                f"  {category.ljust(width)} {value:>12} {share:>6.2f}%"
+            )
+        lines.append(
+            f"  {'total'.ljust(width)} {total:>12} "
+            f"({(total + 7) // 8} bytes)"
+        )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def format_span_tree(spans: Dict[str, Dict[str, int]]) -> str:
+    """Flamegraph-style text tree of aggregated spans.
+
+    Children indent under their parents; siblings sort by total time,
+    heaviest first, so the hot path reads top to bottom.
+    """
+    if not spans:
+        return "no spans recorded"
+    children: Dict[str, List[str]] = {}
+    roots: List[str] = []
+    for path in spans:
+        parent, _, _leaf = path.rpartition("/")
+        if parent and parent in spans:
+            children.setdefault(parent, []).append(path)
+        else:
+            roots.append(path)
+
+    lines: List[str] = []
+
+    def total(path: str) -> int:
+        return spans[path]["total_ns"]
+
+    def emit(path: str, depth: int) -> None:
+        cell = spans[path]
+        leaf = path.rpartition("/")[2]
+        label = "  " * depth + leaf
+        mean_ns = cell["total_ns"] // max(1, cell["count"])
+        lines.append(
+            f"{label:<52} {cell['count']:>6}x "
+            f"{cell['total_ns'] / 1e6:>10.2f}ms "
+            f"(mean {mean_ns / 1e6:.3f}ms)"
+        )
+        for child in sorted(children.get(path, ()), key=total, reverse=True):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=total, reverse=True):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def format_histogram(name: str, cell: Dict[str, object]) -> str:
+    """One histogram as ``[lo, hi): count`` lines."""
+    lines = [f"{name}: n={cell['count']} total={cell['total']}"]
+    for index in sorted(int(i) for i in cell["buckets"]):
+        lo, hi = bucket_bounds(index)
+        lines.append(f"  [{lo}, {hi}): {cell['buckets'][index]}")
+    return "\n".join(lines)
+
+
+def stats_document(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """The stable ``repro stats --format json`` schema.
+
+    All keys are strings (histogram buckets included) so the document
+    survives JSON round-trips unchanged; ``benchmarks`` maps each
+    accounting scope to its category bits plus the total, which equals
+    the compressed size of that (benchmark, codec) cell in bits.
+    """
+    benchmarks = {}
+    for scope, categories in snapshot.get("bits", {}).items():
+        total = sum(categories.values())
+        benchmarks[scope] = {
+            "categories": dict(sorted(categories.items())),
+            "total_bits": total,
+            "total_bytes": (total + 7) // 8,
+        }
+    return {
+        "schema_version": STATS_SCHEMA_VERSION,
+        "benchmarks": benchmarks,
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": {
+            name: {
+                "buckets": {
+                    str(index): count
+                    for index, count in sorted(
+                        (int(i), c) for i, c in cell["buckets"].items()
+                    )
+                },
+                "count": cell["count"],
+                "total": cell["total"],
+            }
+            for name, cell in snapshot.get("histograms", {}).items()
+        },
+        "spans": {
+            path: dict(cell)
+            for path, cell in snapshot.get("spans", {}).items()
+        },
+    }
+
+
+__all__ = [
+    "STATS_SCHEMA_VERSION",
+    "format_bits_table",
+    "format_histogram",
+    "format_span_tree",
+    "stats_document",
+]

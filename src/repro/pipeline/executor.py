@@ -18,11 +18,12 @@ are bit-identical by construction; the tests pin that property.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import Recorder, get_recorder, merge_snapshots, obs_enabled, use_recorder
+from repro.obs.clock import perf_seconds
 from repro.pipeline.cache import NullCache, ResultCache
 from repro.pipeline.fingerprint import job_fingerprint
 from repro.pipeline.report import JobResult, PipelineReport
@@ -69,9 +70,31 @@ def execute_job(job: ExperimentJob, code: bytes) -> Dict[str, Any]:
     """
     from repro.analysis.experiments import compression_ratio
 
-    started = time.perf_counter()
+    started = perf_seconds()
+    if obs_enabled():
+        # Isolate this job's telemetry in a fresh recorder scoped to its
+        # (benchmark, isa, algorithm) cell; the snapshot travels back in
+        # the payload so the parent can roll workers' telemetry up.
+        local = Recorder(scope=f"{job.benchmark}/{job.isa}/{job.algorithm}")
+        with use_recorder(local):
+            with local.span(
+                "job",
+                benchmark=job.benchmark,
+                isa=job.isa,
+                algorithm=job.algorithm,
+            ):
+                ratio = compression_ratio(
+                    code, job.algorithm, job.isa, job.block_size
+                )
+        return {
+            "ratio": ratio,
+            "bytes_in": len(code),
+            "bytes_out": round(ratio * len(code)),
+            "wall_time": perf_seconds() - started,
+            "obs": local.snapshot(),
+        }
     ratio = compression_ratio(code, job.algorithm, job.isa, job.block_size)
-    elapsed = time.perf_counter() - started
+    elapsed = perf_seconds() - started
     return {
         "ratio": ratio,
         "bytes_in": len(code),
@@ -103,10 +126,19 @@ def run_pipeline(
         Defaults to a fresh in-process memo, which still deduplicates
         identical jobs within the batch.
     """
+    with get_recorder().span("pipeline.run", jobs=len(jobs)):
+        return _run_pipeline(jobs, max_workers, cache)
+
+
+def _run_pipeline(
+    jobs: List[ExperimentJob],
+    max_workers: int,
+    cache: Optional[ResultCache],
+) -> PipelineReport:
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     cache = cache if cache is not None else ResultCache()
-    started = time.perf_counter()
+    started = perf_seconds()
 
     # One generation per distinct program, shared across algorithms.
     programs: Dict[Tuple[str, str, float, int], bytes] = {}
@@ -119,16 +151,19 @@ def run_pipeline(
 
     # Resolve against the cache; collect the misses to compute.
     results: List[Optional[JobResult]] = [None] * len(jobs)
+    payloads: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
     pending: List[int] = []
     resolved: Dict[str, Dict[str, Any]] = {}
     for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
         if fingerprint in resolved:  # duplicate job inside this batch
             results[index] = _hit_result(job, fingerprint, resolved[fingerprint])
+            payloads[index] = resolved[fingerprint]
             continue
         payload = cache.get(fingerprint)
         if _valid_payload(payload):
             resolved[fingerprint] = payload
             results[index] = _hit_result(job, fingerprint, payload)
+            payloads[index] = payload
         else:
             pending.append(index)
 
@@ -158,6 +193,7 @@ def run_pipeline(
     for index in pending:
         fingerprint = fingerprints[index]
         payload = computed[fingerprint]
+        payloads[index] = payload
         results[index] = JobResult(
             job=jobs[index],
             fingerprint=fingerprint,
@@ -168,12 +204,29 @@ def run_pipeline(
             cache_hit=False,
         )
 
+    # Roll worker telemetry up, one contribution per job *occurrence*
+    # (replay semantics: the aggregate is a pure function of the job
+    # list, so serial and parallel runs merge identically).  Entries
+    # cached by an obs-off run carry no snapshot and contribute nothing.
+    telemetry = None
+    snapshots = [
+        payload["obs"]
+        for payload in payloads
+        if payload is not None and isinstance(payload.get("obs"), dict)
+    ]
+    if snapshots:
+        telemetry = merge_snapshots(snapshots)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.merge_snapshot(telemetry)
+
     return PipelineReport(
         results=[result for result in results if result is not None],
         cache_stats=cache.stats.as_dict(),
         recompressions=len(computed),
-        total_wall_time=time.perf_counter() - started,
+        total_wall_time=perf_seconds() - started,
         max_workers=max_workers,
+        telemetry=telemetry,
     )
 
 

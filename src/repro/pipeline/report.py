@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # circular at runtime: executor imports this module
     from repro.pipeline.executor import ExperimentJob
@@ -32,6 +32,9 @@ class PipelineReport:
     recompressions: int = 0
     total_wall_time: float = 0.0
     max_workers: int = 1
+    #: Merged telemetry snapshot (``repro.obs`` schema) when the run
+    #: executed with observability enabled; ``None`` otherwise.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def job_count(self) -> int:

@@ -24,6 +24,13 @@ Each rule encodes a correctness contract of this codebase:
     style entry point must dispatch through ``fastpath_enabled()``
     (directly or via a helper it calls), so ``REPRO_FASTPATH=0`` always
     reaches the reference oracle.
+
+``no-wallclock-in-codec``
+    Wall-clock reads belong to the observability layer.  Outside
+    ``obs/``, code must go through :mod:`repro.obs.clock` (or a span)
+    instead of calling ``time.time()`` / ``time.perf_counter()`` etc.
+    directly — one sanctioned clock boundary keeps codec output a pure
+    function of its inputs and makes timing swappable in tests.
 """
 
 from __future__ import annotations
@@ -275,6 +282,75 @@ class FastpathParity(ProjectRule):
         return findings
 
 
+class NoWallclockInCodec(FileRule):
+    """Flag direct wall-clock reads outside the obs layer."""
+
+    rule_id = "no-wallclock-in-codec"
+    severity = SEVERITY_ERROR
+    description = (
+        "direct time.time()/perf_counter()-style call outside obs/; "
+        "use repro.obs.clock"
+    )
+
+    #: The sanctioned clock boundary.
+    _EXEMPT = ("obs/",)
+    _CLOCK_NAMES = frozenset({
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    })
+
+    def applies_to(self, relpath: str) -> bool:
+        return not relpath.startswith(self._EXEMPT)
+
+    def check(self, module: ParsedModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    clocked = [
+                        alias.name
+                        for alias in node.names
+                        if alias.name in self._CLOCK_NAMES
+                    ]
+                    if clocked:
+                        findings.append(self._finding(
+                            module, node,
+                            f"from time import {', '.join(clocked)}",
+                        ))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._CLOCK_NAMES
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    findings.append(
+                        self._finding(module, node, f"time.{func.attr}()")
+                    )
+        return findings
+
+    def _finding(
+        self, module: ParsedModule, node: ast.AST, what: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            file=module.display,
+            line=getattr(node, "lineno", 1),
+            message=(
+                f"{what} reads the wall clock outside obs/; route timing "
+                "through repro.obs.clock (or a recorder span)"
+            ),
+        )
+
+
 def _called_names(func: ast.AST) -> Set[str]:
     """Bare names of everything ``func`` calls (Name or Attribute form)."""
     names: Set[str] = set()
@@ -295,4 +371,5 @@ def default_rules() -> List[object]:
         UnorderedIteration(),
         UnseededRandom(),
         FastpathParity(),
+        NoWallclockInCodec(),
     ]

@@ -1,5 +1,7 @@
 """Smoke tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -52,6 +54,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "restored" in out
 
+    def test_suite_obs_flag_keeps_stdout_clean(self, capsys):
+        args = ["suite", "--scale", "0.15", "--algorithms", "huffman",
+                "--benchmarks", "compress"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--obs"]) == 0
+        captured = capsys.readouterr()
+        # Figure output is unchanged; the telemetry summary goes to stderr.
+        assert captured.out == plain
+        assert "category" in captured.err
+        assert "pipeline.run" in captured.err
+
     def test_figure_fig9_small(self, capsys, monkeypatch):
         # Shrink the suite so the smoke test stays fast.
         import repro.cli as cli
@@ -68,3 +82,55 @@ def _tiny_suite(isa, algorithms):
     from repro.analysis.experiments import run_suite_with_report
 
     return run_suite_with_report(isa, algorithms, scale=0.1, names=("compress",))
+
+
+class TestStatsCommand:
+    ARGS = ["stats", "--scale", "0.15", "--algorithms", "huffman", "compress",
+            "--benchmarks", "compress"]
+
+    def test_text_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "compress/mips/huffman" in out
+        assert "compress/mips/compress" in out
+        assert "total" in out
+        assert "pipeline.run" in out  # span tree follows the bit tables
+
+    def test_json_schema_and_accounting(self, capsys):
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == 1
+        cell = document["benchmarks"]["compress/mips/huffman"]
+        assert cell["total_bits"] == sum(cell["categories"].values())
+        assert cell["total_bytes"] == (cell["total_bits"] + 7) // 8
+        assert any(path.startswith("pipeline.run") for path in document["spans"])
+
+
+class TestBenchDiff:
+    @staticmethod
+    def _snapshot(path, results):
+        path.write_text(json.dumps({"results": results}))
+        return str(path)
+
+    def test_missing_benchmark_fails(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path / "old.json",
+                             {"a": {"median_ns": 100}, "b": {"median_ns": 100}})
+        new = self._snapshot(tmp_path / "new.json", {"a": {"median_ns": 100}})
+        assert main(["bench-diff", old, new]) == 1
+        captured = capsys.readouterr()
+        assert "<-- MISSING" in captured.out
+        assert "missing" in captured.err
+
+    def test_regression_fails(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path / "old.json", {"a": {"median_ns": 100}})
+        new = self._snapshot(tmp_path / "new.json", {"a": {"median_ns": 200}})
+        assert main(["bench-diff", old, new]) == 1
+        assert "<-- REGRESSION" in capsys.readouterr().out
+
+    def test_clean_diff_passes(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path / "old.json", {"a": {"median_ns": 100}})
+        new = self._snapshot(tmp_path / "new.json",
+                             {"a": {"median_ns": 101}, "extra": {"median_ns": 5}})
+        assert main(["bench-diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "only in" in out

@@ -1,0 +1,315 @@
+"""Unit tests for the observability layer: recorder, metrics, renderers.
+
+The properties under test are the ones the rest of the stack leans on:
+the NullRecorder is a complete no-op, span aggregation keys are
+deterministic, snapshots merge associatively and order-insensitively
+(what makes ``--jobs 1`` and ``--jobs N`` telemetry identical), and the
+``stats --format json`` document survives a JSON round-trip.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    OBS_ENV,
+    NullRecorder,
+    Recorder,
+    empty_snapshot,
+    get_recorder,
+    merge_snapshots,
+    obs_enabled,
+    obs_session,
+    use_recorder,
+)
+from repro.obs.metrics import (
+    BUCKET_CAP,
+    bucket_bounds,
+    bucket_index,
+    merge_histogram,
+    new_histogram,
+    observe,
+)
+from repro.obs.recorder import merge_into, span_label
+from repro.obs.render import (
+    format_bits_table,
+    format_histogram,
+    format_span_tree,
+    stats_document,
+)
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        rec = NullRecorder()
+        assert rec.enabled is False
+        with rec.span("anything", attr=1):
+            with rec.scope("a/b/c"):
+                rec.count("x")
+                rec.gauge("y", 7)
+                rec.observe("z", 3)
+                rec.add_bits("bits", 100)
+        assert rec.snapshot() == empty_snapshot()
+
+    def test_merge_snapshot_is_noop(self):
+        rec = NullRecorder()
+        live = Recorder()
+        live.count("c", 5)
+        rec.merge_snapshot(live.snapshot())
+        assert rec.snapshot() == empty_snapshot()
+
+
+class TestSpanLabel:
+    def test_no_attrs_is_bare_name(self):
+        assert span_label("encode", {}) == "encode"
+
+    def test_attrs_sorted_for_determinism(self):
+        label = span_label("job", {"isa": "mips", "algorithm": "SAMC"})
+        assert label == "job{algorithm=SAMC,isa=mips}"
+
+
+class TestRecorderSpans:
+    def test_nested_spans_aggregate_by_path(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            with rec.span("inner"):
+                pass
+        snap = rec.snapshot()
+        assert set(snap["spans"]) == {"outer", "outer/inner"}
+        assert snap["spans"]["outer"]["count"] == 1
+        assert snap["spans"]["outer/inner"]["count"] == 2
+
+    def test_span_records_min_max_total(self):
+        rec = Recorder()
+        for _ in range(3):
+            with rec.span("s"):
+                pass
+        cell = rec.snapshot()["spans"]["s"]
+        assert cell["count"] == 3
+        assert cell["min_ns"] <= cell["max_ns"] <= cell["total_ns"]
+
+    def test_span_survives_exception(self):
+        rec = Recorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("boom"):
+                raise RuntimeError("inner failure")
+        assert rec.snapshot()["spans"]["boom"]["count"] == 1
+        # The stack unwound: a new span is a root, not a child of boom.
+        with rec.span("after"):
+            pass
+        assert "after" in rec.snapshot()["spans"]
+
+
+class TestRecorderInstruments:
+    def test_counters_add(self):
+        rec = Recorder()
+        rec.count("events")
+        rec.count("events", 4)
+        assert rec.snapshot()["counters"]["events"] == 5
+
+    def test_gauges_keep_maximum(self):
+        rec = Recorder()
+        rec.gauge("peak", 10)
+        rec.gauge("peak", 3)
+        rec.gauge("peak", 12)
+        assert rec.snapshot()["gauges"]["peak"] == 12
+
+    def test_histograms_bucket_and_total(self):
+        rec = Recorder()
+        for value in (0, 1, 2, 3, 4):
+            rec.observe("sizes", value)
+        cell = rec.snapshot()["histograms"]["sizes"]
+        assert cell["count"] == 5
+        assert cell["total"] == 10
+        assert cell["buckets"] == {0: 1, 1: 1, 2: 2, 3: 1}
+
+
+class TestBitAccounting:
+    def test_default_scope_from_constructor(self):
+        rec = Recorder(scope="gcc/mips/SAMC")
+        rec.add_bits("model", 64)
+        rec.add_bits("model", 8)
+        assert rec.snapshot()["bits"] == {"gcc/mips/SAMC": {"model": 72}}
+
+    def test_scope_context_overrides_and_restores(self):
+        rec = Recorder(scope="outer")
+        with rec.scope("inner"):
+            rec.add_bits("a", 1)
+        rec.add_bits("b", 2)
+        assert rec.snapshot()["bits"] == {"inner": {"a": 1}, "outer": {"b": 2}}
+
+    def test_explicit_scope_argument_wins(self):
+        rec = Recorder(scope="ambient")
+        rec.add_bits("a", 3, scope="explicit")
+        assert rec.snapshot()["bits"] == {"explicit": {"a": 3}}
+
+
+class TestMetricsBucketing:
+    def test_bucket_index_edges(self):
+        assert bucket_index(0) == 0
+        assert bucket_index(-5) == 0
+        assert bucket_index(1) == 1
+        assert bucket_index(2) == 2
+        assert bucket_index(3) == 2
+        assert bucket_index(4) == 3
+        assert bucket_index(2**63) == BUCKET_CAP
+        assert bucket_index(2**200) == BUCKET_CAP
+
+    def test_bucket_bounds_cover_index(self):
+        for value in (1, 2, 3, 7, 8, 1000):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo <= value < hi
+
+    def test_merge_coerces_string_bucket_keys(self):
+        # JSON round-trips turn int bucket keys into strings; merging a
+        # deserialised histogram must not split buckets by key type.
+        a = new_histogram()
+        observe(a, 5)
+        b = json.loads(json.dumps(a))
+        merge_histogram(a, b)
+        assert a["buckets"] == {3: 2}
+        assert a["count"] == 2
+
+
+class TestSnapshotMerge:
+    @staticmethod
+    def _worker(seed):
+        rec = Recorder(scope=f"bench{seed % 2}/mips/SAMC")
+        rec.count("jobs")
+        rec.count("words", seed * 10)
+        rec.gauge("peak", seed)
+        rec.observe("sizes", seed)
+        rec.add_bits("payload", seed * 100)
+        with rec.span("job"):
+            with rec.span("encode"):
+                pass
+        return rec.snapshot()
+
+    def test_merge_is_order_insensitive(self):
+        snaps = [self._worker(seed) for seed in (1, 2, 3)]
+        forward = merge_snapshots(snaps)
+        backward = merge_snapshots(reversed(snaps))
+        assert forward == backward
+
+    def test_merge_matches_single_recorder_equivalent(self):
+        merged = merge_snapshots([self._worker(s) for s in (1, 2, 3)])
+        assert merged["counters"] == {"jobs": 3, "words": 60}
+        assert merged["gauges"] == {"peak": 3}
+        assert merged["histograms"]["sizes"]["count"] == 3
+        assert merged["bits"] == {
+            "bench1/mips/SAMC": {"payload": 400},
+            "bench0/mips/SAMC": {"payload": 200},
+        }
+        assert merged["spans"]["job"]["count"] == 3
+        assert merged["spans"]["job/encode"]["count"] == 3
+
+    def test_merge_into_recorder(self):
+        rec = Recorder()
+        rec.count("jobs")
+        rec.merge_snapshot(self._worker(2))
+        assert rec.snapshot()["counters"]["jobs"] == 2
+
+    def test_merge_into_empty_copies_spans(self):
+        target = empty_snapshot()
+        merge_into(target, self._worker(1))
+        source = self._worker(1)
+        # Mutating the merge target must not alias the source snapshot.
+        target["spans"]["job"]["count"] += 100
+        assert source["spans"]["job"]["count"] == 1
+
+
+class TestAmbientRecorder:
+    def test_disabled_by_default(self):
+        # The ambient default tracks REPRO_OBS at interpreter start, so
+        # pin the property in a clean subprocess — this test must also
+        # pass when the suite itself runs under REPRO_OBS=1 (the CI obs
+        # job).
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        env.pop(OBS_ENV, None)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        script = "from repro.obs import obs_enabled; print(obs_enabled())"
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert out == "False"
+
+    def test_use_recorder_swaps_and_restores(self):
+        live = Recorder()
+        before = get_recorder()
+        with use_recorder(live):
+            assert get_recorder() is live
+            assert obs_enabled() is True
+        assert get_recorder() is before
+
+    def test_obs_session_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        before = get_recorder()
+        with obs_session(scope="test") as rec:
+            assert os.environ[OBS_ENV] == "1"
+            assert get_recorder() is rec
+            rec.add_bits("x", 8)
+        assert OBS_ENV not in os.environ
+        assert get_recorder() is before
+
+    def test_obs_session_preserves_existing_env_value(self, monkeypatch):
+        monkeypatch.setenv(OBS_ENV, "yes")
+        with obs_session():
+            assert os.environ[OBS_ENV] == "1"
+        assert os.environ[OBS_ENV] == "yes"
+
+
+class TestRenderers:
+    def _snapshot(self):
+        rec = Recorder(scope="gcc/mips/SAMC")
+        rec.add_bits("stream0", 800)
+        rec.add_bits("model", 200)
+        rec.count("samc.blocks_encoded", 4)
+        rec.observe("sizes", 6)
+        with rec.span("pipeline.run"):
+            with rec.span("job", benchmark="gcc"):
+                pass
+        return rec.snapshot()
+
+    def test_bits_table_shows_total_and_share(self):
+        text = format_bits_table(self._snapshot()["bits"])
+        assert "gcc/mips/SAMC" in text
+        assert "stream0" in text and "80.00%" in text
+        assert "total" in text and "1000" in text and "125 bytes" in text
+
+    def test_bits_table_empty(self):
+        assert "no bit-accounting" in format_bits_table({})
+
+    def test_span_tree_indents_children(self):
+        text = format_span_tree(self._snapshot()["spans"])
+        lines = text.splitlines()
+        assert lines[0].startswith("pipeline.run")
+        assert lines[1].startswith("  job{benchmark=gcc}")
+
+    def test_span_tree_empty(self):
+        assert format_span_tree({}) == "no spans recorded"
+
+    def test_format_histogram(self):
+        snap = self._snapshot()
+        text = format_histogram("sizes", snap["histograms"]["sizes"])
+        assert "n=1 total=6" in text
+        assert "[4, 8): 1" in text
+
+    def test_stats_document_json_round_trip(self):
+        doc = stats_document(self._snapshot())
+        restored = json.loads(json.dumps(doc))
+        assert restored == doc  # all keys stringified: lossless round-trip
+        assert restored["schema_version"] == 1
+        cell = restored["benchmarks"]["gcc/mips/SAMC"]
+        assert cell["total_bits"] == 1000
+        assert cell["total_bytes"] == 125
+        assert cell["categories"] == {"model": 200, "stream0": 800}
+        assert restored["histograms"]["sizes"]["buckets"] == {"3": 1}

@@ -1,0 +1,152 @@
+"""Bit-accounting invariants and the free-when-off contract.
+
+Two properties, both acceptance criteria for the telemetry layer:
+
+1. **Exact accounting** — for every codec, the sum of the bit categories
+   a compression attributes equals the compressed size in bits exactly
+   (``total_bytes * 8`` for block codecs, ``len(payload) * 8`` for the
+   file codecs).  No bit is unattributed, none is double-counted.
+2. **Byte identity** — enabling telemetry never changes compressed
+   output, on both the reference and fastpath coder paths.
+"""
+
+import pytest
+
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.baselines.gzipish import gzipish_compress, gzipish_decompress
+from repro.baselines.lzw import lzw_compress, lzw_decompress
+from repro.core.samc.codec import samc_compress
+from repro.core.sadc.mips import MipsSadcCodec
+from repro.core.sadc.x86 import X86SadcCodec
+from repro.obs import obs_session
+from repro.pipeline import ExperimentJob, NullCache, run_pipeline
+from repro.workloads.suite import generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def mips_code():
+    return generate_benchmark("compress", "mips", scale=0.15, seed=3).code
+
+
+@pytest.fixture(scope="module")
+def x86_code():
+    return generate_benchmark("compress", "x86", scale=0.15, seed=3).code
+
+
+def _scope_bits(recorder, scope=""):
+    categories = recorder.snapshot()["bits"][scope]
+    return categories, sum(categories.values())
+
+
+class TestExactAccounting:
+    """Per-scope totals equal the compressed size in bits."""
+
+    def test_samc_total_matches_image(self, mips_code):
+        with obs_session() as rec:
+            image = samc_compress(mips_code)
+            categories, total = _scope_bits(rec)
+        assert total == image.total_bytes * 8
+        # Per-stream payload bits plus the structural categories.
+        assert {"model", "lat", "flush"} <= set(categories)
+        assert any(name.startswith("stream") for name in categories)
+
+    def test_sadc_mips_total_matches_image(self, mips_code):
+        with obs_session() as rec:
+            image = MipsSadcCodec().compress(mips_code)
+            categories, total = _scope_bits(rec)
+        assert total == image.total_bytes * 8
+        assert {"tokens", "model.dictionary", "model.tables", "lat"} <= set(
+            categories
+        )
+
+    def test_sadc_x86_total_matches_image(self, x86_code):
+        with obs_session() as rec:
+            image = X86SadcCodec().compress(x86_code)
+            categories, total = _scope_bits(rec)
+        assert total == image.total_bytes * 8
+        assert {"tokens", "model.dictionary", "lat"} <= set(categories)
+
+    def test_byte_huffman_total_matches_image(self, mips_code):
+        with obs_session() as rec:
+            image = ByteHuffmanCodec().compress(mips_code)
+            _, total = _scope_bits(rec)
+        assert total == image.total_bytes * 8
+
+    def test_gzipish_total_matches_payload(self, mips_code):
+        with obs_session() as rec:
+            payload = gzipish_compress(mips_code)
+            categories, total = _scope_bits(rec)
+        assert total == len(payload) * 8
+        assert {"tables", "literals", "eob"} <= set(categories)
+
+    def test_lzw_total_matches_payload(self, mips_code):
+        with obs_session() as rec:
+            payload = lzw_compress(mips_code)
+            categories, total = _scope_bits(rec)
+        assert total == len(payload) * 8
+        assert categories["header"] == 32
+
+    def test_pipeline_scope_totals_match_bytes_out(self):
+        jobs = [
+            ExperimentJob("compress", "mips", algorithm, scale=0.15, seed=3)
+            for algorithm in ("compress", "gzip", "huffman", "SAMC")
+        ]
+        with obs_session() as rec:
+            report = run_pipeline(jobs, cache=NullCache())
+            bits = rec.snapshot()["bits"]
+        assert report.telemetry is not None
+        for result in report.results:
+            job = result.job
+            scope = f"{job.benchmark}/{job.isa}/{job.algorithm}"
+            assert sum(bits[scope].values()) == result.bytes_out * 8
+
+
+@pytest.mark.parametrize("fastpath", ["0", "1"])
+class TestByteIdentity:
+    """Telemetry on vs off produces bit-identical compressed output."""
+
+    @pytest.fixture(autouse=True)
+    def _pin_fastpath(self, monkeypatch, fastpath):
+        monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+
+    @staticmethod
+    def _image_state(image):
+        return (image.blocks, image.model_bytes, image.original_size)
+
+    def test_samc(self, mips_code):
+        plain = samc_compress(mips_code)
+        with obs_session():
+            instrumented = samc_compress(mips_code)
+        assert self._image_state(plain) == self._image_state(instrumented)
+
+    def test_sadc_mips(self, mips_code):
+        plain = MipsSadcCodec().compress(mips_code)
+        with obs_session():
+            instrumented = MipsSadcCodec().compress(mips_code)
+        assert self._image_state(plain) == self._image_state(instrumented)
+
+    def test_sadc_x86(self, x86_code):
+        plain = X86SadcCodec().compress(x86_code)
+        with obs_session():
+            instrumented = X86SadcCodec().compress(x86_code)
+        assert self._image_state(plain) == self._image_state(instrumented)
+
+    def test_byte_huffman(self, mips_code):
+        plain = ByteHuffmanCodec().compress(mips_code)
+        with obs_session():
+            instrumented = ByteHuffmanCodec().compress(mips_code)
+        assert self._image_state(plain) == self._image_state(instrumented)
+
+    def test_gzipish_round_trip(self, mips_code):
+        plain = gzipish_compress(mips_code)
+        with obs_session():
+            instrumented = gzipish_compress(mips_code)
+        assert plain == instrumented
+        assert gzipish_decompress(instrumented) == mips_code
+
+    def test_lzw_round_trip(self, mips_code):
+        plain = lzw_compress(mips_code)
+        with obs_session():
+            instrumented = lzw_compress(mips_code)
+        assert plain == instrumented
+        assert lzw_decompress(instrumented) == mips_code

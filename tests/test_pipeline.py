@@ -22,6 +22,7 @@ from repro.analysis.experiments import (
     suite_jobs,
 )
 from repro.cli import main
+from repro.obs import OBS_ENV, NullRecorder, obs_session, use_recorder
 from repro.pipeline import (
     ExperimentJob,
     NullCache,
@@ -174,6 +175,59 @@ class TestParallelIdentity:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             run_pipeline(JOBS, max_workers=0)
+
+
+class TestTelemetryMerge:
+    """Cross-process telemetry: serial and parallel runs aggregate the
+    same counters, bit accounts, and histograms (spans differ only in
+    wall time, so only their structure is compared)."""
+
+    @staticmethod
+    def _run(workers):
+        with obs_session():
+            report = run_pipeline(JOBS, max_workers=workers, cache=NullCache())
+        return report.telemetry
+
+    def test_jobs_1_vs_jobs_n_telemetry_identical(self):
+        serial = self._run(1)
+        parallel = self._run(3)
+        assert serial is not None and parallel is not None
+        assert serial["counters"] == parallel["counters"]
+        assert serial["bits"] == parallel["bits"]
+        assert serial["histograms"] == parallel["histograms"]
+        assert serial["gauges"] == parallel["gauges"]
+        assert {p: c["count"] for p, c in serial["spans"].items()} == \
+               {p: c["count"] for p, c in parallel["spans"].items()}
+
+    def test_telemetry_rolls_into_ambient_recorder(self):
+        with obs_session() as rec:
+            run_pipeline(JOBS[:2], max_workers=1, cache=NullCache())
+            snap = rec.snapshot()
+        # Worker-side job telemetry merged into the session recorder.
+        assert any(scope for scope in snap["bits"])
+        assert any(path.startswith("pipeline.run") for path in snap["spans"])
+
+    def test_telemetry_none_when_obs_off(self, monkeypatch):
+        # Force-disable even when the surrounding suite runs with
+        # REPRO_OBS=1 (the CI obs job): the inline jobs=1 path consults
+        # the ambient recorder.
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        with use_recorder(NullRecorder()):
+            report = run_pipeline(JOBS[:1], cache=NullCache())
+        assert report.telemetry is None
+
+    def test_duplicate_jobs_counted_per_occurrence(self):
+        with obs_session():
+            once = run_pipeline([JOBS[0]], cache=NullCache()).telemetry
+        with obs_session():
+            thrice = run_pipeline([JOBS[0]] * 3, cache=NullCache()).telemetry
+        # Replay semantics: the aggregate reflects the job *list*, not
+        # the deduplicated compute set.
+        for name, value in once["counters"].items():
+            assert thrice["counters"][name] == 3 * value
+        scope = next(iter(once["bits"]))
+        for category, bits in once["bits"][scope].items():
+            assert thrice["bits"][scope][category] == 3 * bits
 
 
 class TestSuiteWiring:

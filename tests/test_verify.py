@@ -326,6 +326,64 @@ class TestFastpathParityRule:
         assert _lint(root) == []
 
 
+class TestNoWallclockRule:
+    def test_direct_call_flagged(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "pipeline/executor.py": """
+                import time
+
+                def run():
+                    return time.perf_counter()
+            """,
+        })
+        findings = _lint(root)
+        assert [f.rule for f in findings] == ["no-wallclock-in-codec"]
+        assert "time.perf_counter()" in findings[0].message
+
+    def test_from_import_flagged(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "core/codec.py": """
+                from time import perf_counter, time_ns
+            """,
+        })
+        findings = _lint(root)
+        assert [f.rule for f in findings] == ["no-wallclock-in-codec"]
+        assert "perf_counter" in findings[0].message
+
+    def test_obs_layer_exempt(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "obs/clock.py": """
+                import time
+
+                def monotonic_ns():
+                    return time.perf_counter_ns()
+            """,
+        })
+        assert _lint(root) == []
+
+    def test_non_clock_time_usage_ignored(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "core/misc.py": """
+                import time
+
+                def idle():
+                    time.sleep(0)
+            """,
+        })
+        assert _lint(root) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "core/misc.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro: noqa no-wallclock-in-codec
+            """,
+        })
+        assert _lint(root) == []
+
+
 # ---------------------------------------------------------------------------
 # Finding plumbing.
 # ---------------------------------------------------------------------------
