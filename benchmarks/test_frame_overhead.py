@@ -1,0 +1,68 @@
+"""Integrity-framing overhead guard: the container must stay under 2%.
+
+The resilience frame (``repro.resilience.frame``) costs a fixed
+:data:`FRAME_OVERHEAD` bytes per framed object.  Archives are framed
+whole, so on any realistically sized image the overhead is a fraction
+of a percent — this suite pins the < 2% budget across the benchmark
+programs and both ISAs, and asserts byte-identity of everything under
+the container (turning framing on must never change the codec bytes).
+
+Runs under ``--benchmark-disable`` in CI like the other benchmark
+groups: every assertion is on sizes and bytes, never timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.core.sadc import sadc_compress
+from repro.core.samc import SamcCodec
+from repro.core.serialize import serialize_image
+from repro.resilience import FRAME_OVERHEAD, unwrap_frame
+from repro.workloads.suite import generate_benchmark
+
+#: Maximum allowed framed/unframed size ratio.
+OVERHEAD_BUDGET = 1.02
+
+BENCHMARKS = ("compress", "gcc", "ijpeg")
+
+
+def _images(isa):
+    for benchmark in BENCHMARKS:
+        code = generate_benchmark(benchmark, isa, scale=0.3, seed=1).code
+        if isa == "mips":
+            yield benchmark, SamcCodec.for_mips().compress(code)
+        else:
+            yield benchmark, SamcCodec.for_bytes().compress(code)
+        yield benchmark, sadc_compress(code, isa=isa)
+        yield benchmark, ByteHuffmanCodec().compress(code)
+
+
+@pytest.mark.parametrize("isa", ["mips", "x86"])
+def test_suite_overhead_under_budget(isa):
+    total_raw = 0
+    total_framed = 0
+    for benchmark, image in _images(isa):
+        raw = serialize_image(image, framed=False)
+        framed = serialize_image(image, framed=True)
+        assert len(framed) == len(raw) + FRAME_OVERHEAD
+        assert unwrap_frame(framed) == raw  # container, not a transform
+        per_image = len(framed) / len(raw)
+        assert per_image <= OVERHEAD_BUDGET, (
+            f"{benchmark}/{image.algorithm} framed overhead "
+            f"{per_image:.4f} exceeds {OVERHEAD_BUDGET}"
+        )
+        total_raw += len(raw)
+        total_framed += len(framed)
+    assert total_framed / total_raw <= OVERHEAD_BUDGET
+
+
+def test_smallest_archive_still_within_budget():
+    # The worst case is the smallest archive: fixed 14 bytes against the
+    # shortest serialised image in the suite.  Even a tiny program's
+    # model tables dwarf the container.
+    code = generate_benchmark("compress", "mips", scale=0.05, seed=1).code
+    image = SamcCodec.for_mips().compress(code)
+    raw = serialize_image(image, framed=False)
+    assert FRAME_OVERHEAD / len(raw) <= OVERHEAD_BUDGET - 1.0

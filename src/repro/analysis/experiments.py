@@ -127,10 +127,23 @@ def run_suite_with_report(
     seed: int = 0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    job_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[List[SuiteRow], PipelineReport]:
-    """The full figure sweep, plus the pipeline's timing/cache report."""
+    """The full figure sweep, plus the pipeline's timing/cache report.
+
+    When ``retries``/``job_timeout`` are set, a failing job degrades its
+    cell (reported in ``report.failures``) instead of aborting the sweep;
+    the returned rows simply omit the missing ratios.
+    """
     job_list = suite_jobs(isa, algorithms, scale, block_size, names, seed)
-    report = run_pipeline(job_list, max_workers=jobs, cache=cache)
+    report = run_pipeline(
+        job_list,
+        max_workers=jobs,
+        cache=cache,
+        job_timeout=job_timeout,
+        retries=retries,
+    )
     rows: List[SuiteRow] = []
     by_benchmark: Dict[str, SuiteRow] = {}
     for result in report.results:
@@ -154,20 +167,53 @@ def run_suite(
     seed: int = 0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    job_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> List[SuiteRow]:
     """The full figure sweep: every benchmark × every algorithm."""
     rows, _report = run_suite_with_report(
-        isa, algorithms, scale, block_size, names, seed, jobs=jobs, cache=cache
+        isa,
+        algorithms,
+        scale,
+        block_size,
+        names,
+        seed,
+        jobs=jobs,
+        cache=cache,
+        job_timeout=job_timeout,
+        retries=retries,
     )
     return rows
 
 
+def suite_algorithms(rows: Sequence[SuiteRow]) -> List[str]:
+    """Union of algorithm columns across rows, first-seen order.
+
+    A degraded run can leave a row missing cells — including its first
+    row — so column discovery must look at every row, not just
+    ``rows[0]``.  Complete runs get exactly the legend order they always
+    did (every row has every key, first row wins).
+    """
+    algorithms: Dict[str, None] = {}
+    for row in rows:
+        for algorithm in row.ratios:
+            algorithms.setdefault(algorithm)
+    return list(algorithms)
+
+
 def average_ratios(rows: Sequence[SuiteRow]) -> Dict[str, float]:
-    """Per-algorithm mean ratio across benchmarks (Figure 9's bars)."""
+    """Per-algorithm mean ratio across benchmarks (Figure 9's bars).
+
+    Averages are taken over the rows that *have* the cell, so a
+    degraded sweep still yields figures (over fewer benchmarks).
+    """
     if not rows:
         return {}
-    algorithms = rows[0].ratios.keys()
-    return {
-        algorithm: sum(row.ratios[algorithm] for row in rows) / len(rows)
-        for algorithm in algorithms
-    }
+    averages: Dict[str, float] = {}
+    for algorithm in suite_algorithms(rows):
+        values = [
+            row.ratios[algorithm] for row in rows if algorithm in row.ratios
+        ]
+        if values:
+            averages[algorithm] = sum(values) / len(values)
+    return averages

@@ -4,14 +4,20 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Sequence
 
-from repro.analysis.experiments import SuiteRow
+from repro.analysis.experiments import SuiteRow, average_ratios, suite_algorithms
 
 
 def format_suite(rows: Sequence[SuiteRow], title: str = "") -> str:
-    """Render per-benchmark ratios as an aligned text table."""
+    """Render per-benchmark ratios as an aligned text table.
+
+    Rows from a degraded pipeline run may be missing cells; those render
+    as ``-`` and averages are taken over the present values, so a
+    partial sweep still produces a readable (and visibly partial) table.
+    Complete rows render byte-identically to the pre-resilience format.
+    """
     if not rows:
         return "(no results)"
-    algorithms = list(rows[0].ratios.keys())
+    algorithms = suite_algorithms(rows)
     name_width = max(len("benchmark"), max(len(r.benchmark) for r in rows))
     header = "benchmark".ljust(name_width) + "".join(
         f"  {algorithm:>9}" for algorithm in algorithms
@@ -22,15 +28,19 @@ def format_suite(rows: Sequence[SuiteRow], title: str = "") -> str:
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
-        cells = "".join(f"  {row.ratios[a]:9.3f}" for a in algorithms)
+        cells = "".join(
+            f"  {row.ratios[a]:9.3f}" if a in row.ratios else f"  {'-':>9}"
+            for a in algorithms
+        )
         lines.append(row.benchmark.ljust(name_width) + cells)
-    averages = {
-        a: sum(r.ratios[a] for r in rows) / len(rows) for a in algorithms
-    }
+    averages = average_ratios(rows)
     lines.append("-" * len(header))
     lines.append(
         "average".ljust(name_width)
-        + "".join(f"  {averages[a]:9.3f}" for a in algorithms)
+        + "".join(
+            f"  {averages[a]:9.3f}" if a in averages else f"  {'-':>9}"
+            for a in algorithms
+        )
     )
     return "\n".join(lines)
 

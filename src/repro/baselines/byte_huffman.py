@@ -22,6 +22,8 @@ from repro.entropy.huffman import (
     build_code,
 )
 from repro.obs import get_recorder
+from repro.resilience.errors import decode_guard
+from repro.resilience.frame import block_payload
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -84,8 +86,11 @@ class ByteHuffmanCodec:
         table: HuffmanCode = image.metadata["code"]
         decoder = HuffmanDecoder(table)
         count = self._original_block_bytes(image, block_index)
-        symbols = decoder.decode(image.blocks[block_index], count)
-        return bytes(symbols)
+        with decode_guard("byte_huffman.decompress_block"):
+            symbols = decoder.decode(block_payload(image, block_index), count)
+            # bytes() rejects symbols outside [0, 255] — a corrupted table
+            # can decode such a symbol, so keep the conversion guarded.
+            return bytes(symbols)
 
     def _original_block_bytes(self, image: CompressedImage, block_index: int) -> int:
         full_blocks, tail = divmod(image.original_size, image.block_size)

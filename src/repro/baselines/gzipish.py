@@ -26,6 +26,7 @@ from repro.entropy.huffman import (
     build_code,
 )
 from repro.obs import get_recorder
+from repro.resilience.errors import decode_guard
 
 END_OF_BLOCK = 256
 
@@ -179,32 +180,38 @@ def _emit_instrumented(rec, coded, litlen_code, dist_code) -> bytes:
 
 
 def gzipish_decompress(payload: bytes) -> bytes:
-    """Inverse of :func:`gzipish_compress`."""
-    reader = BitReader(payload)
-    litlen_lengths = _read_table(reader, 286)
-    dist_lengths = _read_table(reader, 30)
-    from repro.entropy.huffman import HuffmanCode, canonical_codewords
+    """Inverse of :func:`gzipish_compress`.
 
-    litlen_code = HuffmanCode(litlen_lengths, canonical_codewords(litlen_lengths))
-    dist_code = HuffmanCode(dist_lengths, canonical_codewords(dist_lengths))
-    litlen_decoder = HuffmanDecoder(litlen_code)
-    dist_decoder = HuffmanDecoder(dist_code)
+    Termination on arbitrary bytes: each token consumes at least one
+    payload bit, matches expand at most 258 bytes each, and exhausting
+    the reader raises through the guard as ``truncated``.
+    """
+    with decode_guard("gzipish.decompress"):
+        reader = BitReader(payload)
+        litlen_lengths = _read_table(reader, 286)
+        dist_lengths = _read_table(reader, 30)
+        from repro.entropy.huffman import HuffmanCode, canonical_codewords
 
-    tokens: List[Token] = []
-    while True:
-        symbol = litlen_decoder.decode_from(reader, 1)[0]
-        if symbol == END_OF_BLOCK:
-            break
-        if symbol < 256:
-            tokens.append(Literal(symbol))
-            continue
-        extra, base = _LENGTH_BY_SYMBOL[symbol]
-        length = base + (reader.read_bits(extra) if extra else 0)
-        dsymbol = dist_decoder.decode_from(reader, 1)[0]
-        dextra, dbase = _DISTANCE_BY_SYMBOL[dsymbol]
-        distance = dbase + (reader.read_bits(dextra) if dextra else 0)
-        tokens.append(Match(length, distance))
-    return detokenize(iter(tokens))
+        litlen_code = HuffmanCode(litlen_lengths, canonical_codewords(litlen_lengths))
+        dist_code = HuffmanCode(dist_lengths, canonical_codewords(dist_lengths))
+        litlen_decoder = HuffmanDecoder(litlen_code)
+        dist_decoder = HuffmanDecoder(dist_code)
+
+        tokens: List[Token] = []
+        while True:
+            symbol = litlen_decoder.decode_from(reader, 1)[0]
+            if symbol == END_OF_BLOCK:
+                break
+            if symbol < 256:
+                tokens.append(Literal(symbol))
+                continue
+            extra, base = _LENGTH_BY_SYMBOL[symbol]
+            length = base + (reader.read_bits(extra) if extra else 0)
+            dsymbol = dist_decoder.decode_from(reader, 1)[0]
+            dextra, dbase = _DISTANCE_BY_SYMBOL[dsymbol]
+            distance = dbase + (reader.read_bits(dextra) if dextra else 0)
+            tokens.append(Match(length, distance))
+        return detokenize(iter(tokens))
 
 
 def gzipish_ratio(data: bytes) -> float:

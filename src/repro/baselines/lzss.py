@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Union
 
 from repro.fastpath import fastpath_enabled
 from repro.obs import get_recorder
+from repro.resilience.errors import CATEGORY_STRUCTURE, CorruptedStreamError
 
 WINDOW_SIZE = 32 * 1024
 MIN_MATCH = 3
@@ -122,7 +123,12 @@ def detokenize(tokens: Iterator[Token]) -> bytes:  # repro: noqa fastpath-parity
             out.append(token.byte)
         else:
             if token.distance < 1 or token.distance > len(out):
-                raise ValueError(f"bad match distance {token.distance}")
+                raise CorruptedStreamError(
+                    f"bad match distance {token.distance} with "
+                    f"{len(out)} bytes decoded",
+                    offset=len(out),
+                    category=CATEGORY_STRUCTURE,
+                )
             start = len(out) - token.distance
             for i in range(token.length):  # may self-overlap, byte at a time
                 out.append(out[start + i])

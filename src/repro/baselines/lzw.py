@@ -17,11 +17,23 @@ from typing import Dict, List
 from repro.bitstream.io import BitReader, BitWriter
 from repro.fastpath import fastpath_enabled
 from repro.obs import get_recorder
+from repro.resilience.errors import (
+    CATEGORY_BUDGET,
+    CATEGORY_SYMBOL,
+    CorruptedStreamError,
+    decode_guard,
+)
 
 MIN_BITS = 9
 MAX_BITS = 16
 CLEAR_CODE = 256
 FIRST_CODE = 257
+
+#: Allocation budget for a declared output length.  The 32-bit header is
+#: attacker-controlled on a corrupted stream; nothing this repo
+#: compresses approaches the cap, so larger claims are rejected up front
+#: instead of allocated.
+MAX_DECLARED_OUTPUT = 1 << 28
 
 
 def lzw_compress(data: bytes) -> bytes:
@@ -87,37 +99,55 @@ def _lzw_compress_reference(data: bytes) -> bytes:
 
 
 def lzw_decompress(payload: bytes) -> bytes:  # repro: noqa fastpath-parity (no decode kernel; table rebuild dominates either way)
-    """Inverse of :func:`lzw_compress`."""
-    reader = BitReader(payload)
-    length = reader.read_bits(32)
-    out = bytearray()
-    if length == 0:
-        return bytes(out)
+    """Inverse of :func:`lzw_compress`.
 
-    table: List[bytes] = [bytes([i]) for i in range(256)] + [b""]  # slot 256 = CLEAR
-    width = MIN_BITS
-    previous = b""
-    while len(out) < length:
-        code = reader.read_bits(width)
-        if code == CLEAR_CODE:
-            table = [bytes([i]) for i in range(256)] + [b""]  # slot 256 = CLEAR
-            width = MIN_BITS
-            previous = b""
-            continue
-        if code < len(table) and table[code]:
-            entry = table[code]
-        elif code == len(table) and previous:
-            entry = previous + previous[:1]  # the KwKwK corner case
-        else:
-            raise ValueError(f"invalid LZW code {code}")
-        out.extend(entry)
-        if previous and len(table) < (1 << MAX_BITS):
-            table.append(previous + entry[:1])
-            # The encoder widens after *assigning* next_code; mirror it.
-            if len(table) + 1 > (1 << width) and width < MAX_BITS:
-                width += 1
-        previous = entry
-    return bytes(out[:length])
+    Termination on arbitrary bytes: the output loop is bounded by the
+    (budget-capped) declared length, every code read consumes at least
+    ``MIN_BITS`` of payload, and running off the end surfaces as a
+    ``truncated`` :class:`CorruptedStreamError` via the guard.
+    """
+    with decode_guard("lzw.decompress"):
+        reader = BitReader(payload)
+        length = reader.read_bits(32)
+        out = bytearray()
+        if length == 0:
+            return bytes(out)
+        if length > MAX_DECLARED_OUTPUT:
+            raise CorruptedStreamError(
+                f"declared output of {length} bytes exceeds the "
+                f"{MAX_DECLARED_OUTPUT}-byte budget",
+                offset=0,
+                category=CATEGORY_BUDGET,
+            )
+
+        table: List[bytes] = [bytes([i]) for i in range(256)] + [b""]  # slot 256 = CLEAR
+        width = MIN_BITS
+        previous = b""
+        while len(out) < length:
+            code = reader.read_bits(width)
+            if code == CLEAR_CODE:
+                table = [bytes([i]) for i in range(256)] + [b""]  # slot 256 = CLEAR
+                width = MIN_BITS
+                previous = b""
+                continue
+            if code < len(table) and table[code]:
+                entry = table[code]
+            elif code == len(table) and previous:
+                entry = previous + previous[:1]  # the KwKwK corner case
+            else:
+                raise CorruptedStreamError(
+                    f"invalid LZW code {code}",
+                    offset=reader.bit_position // 8,
+                    category=CATEGORY_SYMBOL,
+                )
+            out.extend(entry)
+            if previous and len(table) < (1 << MAX_BITS):
+                table.append(previous + entry[:1])
+                # The encoder widens after *assigning* next_code; mirror it.
+                if len(table) + 1 > (1 << width) and width < MAX_BITS:
+                    width += 1
+            previous = entry
+        return bytes(out[:length])
 
 
 def lzw_ratio(data: bytes) -> float:

@@ -9,6 +9,7 @@ Subcommands
 ``stats``       run a sweep with telemetry on; render bit attribution
 ``bench-diff``  compare two BENCH_codec.json snapshots, flag regressions
 ``check``       static verification: codec invariants + repo lint rules
+``fuzz``        deterministic fault-injection sweep over every decoder
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from repro.core import decompress_image, load_image, save_image
 from repro.core.sadc import sadc_compress
 from repro.core.samc import SamcCodec
 from repro.memory import CompressedMemorySystem, RefillTiming, generate_trace
+from repro.resilience.errors import CorruptedStreamError
 from repro.workloads.profiles import BENCHMARK_NAMES
 from repro.workloads.suite import generate_benchmark
 
@@ -51,6 +53,14 @@ def _add_pipeline(parser: argparse.ArgumentParser) -> None:
                              "SHA-256(code image) + codec config")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable result caching entirely")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-run a failing job up to N times before "
+                             "recording it as failed (default 0)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget; enforced on the "
+                             "pool path (--jobs > 1), over-budget jobs are "
+                             "recorded as failures")
 
 
 def _make_cache(args: argparse.Namespace):
@@ -109,6 +119,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             cache=_make_cache(args),
+            job_timeout=args.job_timeout,
+            retries=args.retries,
         )
         print(format_suite(rows, title=f"Compression ratios — {args.isa}"))
         # Timing/cache counters go to stderr: stdout stays bit-identical
@@ -116,7 +128,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(report.format(), file=sys.stderr)
         if recorder is not None:
             _print_obs_summary(recorder)
-    return 0
+    # A degraded (partial-table) run exits non-zero so scripts notice.
+    return 1 if report.failures else 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -134,21 +147,25 @@ def _run_figure(args: argparse.Namespace, cache) -> int:
         rows, report = run_suite_with_report(
             isa, FIGURE_ALGORITHMS, scale=args.scale, seed=args.seed,
             jobs=args.jobs, cache=cache,
+            job_timeout=args.job_timeout, retries=args.retries,
         )
         print(format_suite(rows, title=f"Figure {args.name[-1]} — {isa} ratios"))
         print(report.format(), file=sys.stderr)
-        return 0
+        return 1 if report.failures else 0
     if args.name == "fig9":
         averages = {}
+        degraded = False
         for isa in ("mips", "x86"):
             rows, report = run_suite_with_report(
                 isa, ("huffman", "SAMC", "SADC"), scale=args.scale,
                 seed=args.seed, jobs=args.jobs, cache=cache,
+                job_timeout=args.job_timeout, retries=args.retries,
             )
             averages[isa] = average_ratios(rows)
+            degraded = degraded or bool(report.failures)
             print(report.format(), file=sys.stderr)
         print(format_averages(averages, title="Figure 9 — average ratios"))
-        return 0
+        return 1 if degraded else 0
     print(f"unknown figure {args.name!r}", file=sys.stderr)
     return 2
 
@@ -234,6 +251,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             cache=_make_cache(args),
+            job_timeout=args.job_timeout,
+            retries=args.retries,
         )
         snapshot = recorder.snapshot()
     if args.format == "json":
@@ -341,6 +360,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_status(findings, strict=args.strict)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Deterministic fault-injection sweep over every decode path.
+
+    Builds real compressed artifacts (SAMC, SADC, byte-Huffman, LZW,
+    gzipish), corrupts them with seeded faults (bit flips, truncation,
+    splices, duplicated spans, LAT-entry edits), and asserts the decode
+    contract: every corrupted input either round-trips exactly or raises
+    ``CorruptedStreamError`` — within a per-decode time budget, never a
+    hang, never a raw low-level exception.  Exit 1 on any violation.
+    """
+    from repro.resilience.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        iters=args.iters,
+        time_budget=args.time_budget,
+    )
+    print_lines(report.format_lines(), empty="fuzz: no iterations run")
+    return 0 if report.ok else 1
+
+
 def _cmd_compress_file(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         data = handle.read()
@@ -356,8 +396,12 @@ def _cmd_compress_file(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress_file(args: argparse.Namespace) -> int:
-    image = load_image(args.input)
-    data = decompress_image(image)
+    try:
+        image = load_image(args.input)
+        data = decompress_image(image)
+    except CorruptedStreamError as error:
+        print(f"{args.input}: corrupted archive: {error}", file=sys.stderr)
+        return 1
     with open(args.output, "wb") as handle:
         handle.write(data)
     print(f"{args.input}: restored {len(data)} bytes ({image.algorithm})")
@@ -449,6 +493,20 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-lint", action="store_true",
                        help="skip layer 2 (AST lint rules)")
     check.set_defaults(func=_cmd_check)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="deterministic fault-injection sweep over every decode path",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--iters", type=int, default=200, metavar="N",
+                      help="fault-injection iterations per sweep "
+                           "(default 200)")
+    fuzz.add_argument("--time-budget", type=float, default=5.0,
+                      metavar="SECONDS",
+                      help="per-decode wall-clock budget; any decode over "
+                           "budget is a failure (default 5.0)")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     compress_file = sub.add_parser(
         "compress-file", help="compress any binary to the on-ROM format"

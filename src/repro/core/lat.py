@@ -17,6 +17,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.resilience.errors import (
+    CATEGORY_BOUNDS,
+    CATEGORY_STRUCTURE,
+    CorruptedStreamError,
+)
+
 
 @dataclass(frozen=True)
 class LineAddressTable:
@@ -48,16 +54,66 @@ class LineAddressTable:
         """Total LAT storage in whole bytes."""
         return (self.storage_bits + 7) // 8
 
+    def _check_index(self, block_index: int) -> None:
+        if not 0 <= block_index < len(self.offsets):
+            raise CorruptedStreamError(
+                f"LAT lookup for block {block_index} outside "
+                f"[0, {len(self.offsets)})",
+                category=CATEGORY_BOUNDS,
+            )
+
     def block_offset(self, block_index: int) -> int:
         """Compressed byte offset of a block (refill-engine lookup)."""
-        return self.offsets[block_index]
+        self._check_index(block_index)
+        offset = self.offsets[block_index]
+        if not 0 <= offset <= self.payload_bytes:
+            raise CorruptedStreamError(
+                f"LAT entry {block_index} points at {offset}, outside the "
+                f"{self.payload_bytes}-byte payload",
+                offset=offset,
+                category=CATEGORY_BOUNDS,
+            )
+        return offset
 
     def block_span(self, block_index: int) -> tuple:
         """(start, end) compressed byte span of a block."""
-        start = self.offsets[block_index]
+        start = self.block_offset(block_index)
         if block_index + 1 < len(self.offsets):
-            return start, self.offsets[block_index + 1]
-        return start, self.payload_bytes
+            end = self.block_offset(block_index + 1)
+        else:
+            end = self.payload_bytes
+        if end < start:
+            raise CorruptedStreamError(
+                f"LAT entries {block_index}/{block_index + 1} are not "
+                f"monotone ({start} > {end})",
+                offset=start,
+                category=CATEGORY_STRUCTURE,
+            )
+        return start, end
+
+    def validate(self) -> None:
+        """Structural check: offsets monotone and inside the payload.
+
+        Raises :class:`CorruptedStreamError` on the first violation —
+        the fuzz driver's LAT-corruption oracle.
+        """
+        previous = 0
+        for index, offset in enumerate(self.offsets):
+            if not 0 <= offset <= self.payload_bytes:
+                raise CorruptedStreamError(
+                    f"LAT entry {index} points at {offset}, outside the "
+                    f"{self.payload_bytes}-byte payload",
+                    offset=offset,
+                    category=CATEGORY_BOUNDS,
+                )
+            if offset < previous:
+                raise CorruptedStreamError(
+                    f"LAT entry {index} ({offset}) precedes entry "
+                    f"{index - 1} ({previous})",
+                    offset=offset,
+                    category=CATEGORY_STRUCTURE,
+                )
+            previous = offset
 
 
 @dataclass(frozen=True)
@@ -102,10 +158,23 @@ class CompactLAT:
 
     def block_offset(self, block_index: int) -> int:
         """Locate a block: group base plus the lengths before it."""
+        if not 0 <= block_index < len(self.block_sizes):
+            raise CorruptedStreamError(
+                f"compact LAT lookup for block {block_index} outside "
+                f"[0, {len(self.block_sizes)})",
+                category=CATEGORY_BOUNDS,
+            )
         group_start = (block_index // self.group_size) * self.group_size
         offset = self.offsets[group_start]
         for i in range(group_start, block_index):
             offset += self.block_sizes[i]
+        if not 0 <= offset <= self.payload_bytes:
+            raise CorruptedStreamError(
+                f"compact LAT resolved block {block_index} to {offset}, "
+                f"outside the {self.payload_bytes}-byte payload",
+                offset=offset,
+                category=CATEGORY_BOUNDS,
+            )
         return offset
 
 

@@ -54,6 +54,12 @@ from repro.isa.mips.streams import (
     uses_imm26,
 )
 from repro.obs import get_recorder
+from repro.resilience.errors import (
+    CATEGORY_STRUCTURE,
+    CorruptedStreamError,
+    decode_guard,
+)
+from repro.resilience.frame import block_payload
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -480,14 +486,34 @@ class MipsSadcCodec:
         dictionary: Dictionary = image.metadata["dictionary"]
         codes: Dict[str, HuffmanCode] = image.metadata["codes"]
         decoders = {name: HuffmanDecoder(code) for name, code in codes.items()}
-        reader = BitReader(image.blocks[block_index], pad=False)
-
         block_bytes = self._original_block_bytes(image, block_index)
         expected = block_bytes // 4
+        with decode_guard("sadc.mips.decompress_block"):
+            reader = BitReader(block_payload(image, block_index), pad=False)
+            return self._decode_words(
+                reader, dictionary, decoders, expected, block_index
+            )
+
+    def _decode_words(
+        self,
+        reader: BitReader,
+        dictionary: Dictionary,
+        decoders: Dict[str, HuffmanDecoder],
+        expected: int,
+        block_index: int,
+    ) -> bytes:
         words: List[int] = []
         while len(words) < expected:
             index = decoders["tokens"].decode_from(reader, 1)[0]
             entry = dictionary.entries[index]
+            if not entry.opcodes:
+                # An empty entry decodes zero instructions: the loop
+                # would never advance — only reachable from a corrupted
+                # deserialised dictionary.
+                raise CorruptedStreamError(
+                    f"dictionary entry {index} is empty",
+                    category=CATEGORY_STRUCTURE,
+                )
             for j, opcode_id in enumerate(entry.opcodes):
                 spec = ID_TO_SPEC[opcode_id]
                 regs: List[int] = []

@@ -33,6 +33,12 @@ from repro.entropy.huffman import (
 )
 from repro.isa.x86.formats import X86Instruction, decode_all
 from repro.obs import get_recorder
+from repro.resilience.errors import (
+    CATEGORY_STRUCTURE,
+    CorruptedStreamError,
+    decode_guard,
+)
+from repro.resilience.frame import block_payload
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -336,26 +342,36 @@ class X86SadcCodec:
 
         dictionary: X86Dictionary = image.metadata["dictionary"]
         codes: Dict[str, HuffmanCode] = image.metadata["codes"]
-        expected = image.metadata["block_instruction_counts"][block_index]
-        reader = BitReader(image.blocks[block_index])
-        token_decoder = HuffmanDecoder(codes["tokens"])
-        modrm_decoder = HuffmanDecoder(codes["modrm_sib"])
-        imm_decoder = HuffmanDecoder(codes["imm_disp"])
+        with decode_guard("sadc.x86.decompress_block"):
+            expected = image.metadata["block_instruction_counts"][block_index]
+            reader = BitReader(block_payload(image, block_index))
+            token_decoder = HuffmanDecoder(codes["tokens"])
+            modrm_decoder = HuffmanDecoder(codes["modrm_sib"])
+            imm_decoder = HuffmanDecoder(codes["imm_disp"])
 
-        opcode_entries: List[bytes] = []
-        while len(opcode_entries) < expected:
-            token = token_decoder.decode_from(reader, 1)[0]
-            opcode_entries.extend(dictionary.entries[token])
-        if len(opcode_entries) != expected:
-            raise ValueError(
-                f"block {block_index}: group crossed block boundary"
-            )
-        out = bytearray()
-        for entry_bytes in opcode_entries:
-            instruction = reassemble_instruction(
-                entry_bytes,
-                lambda: modrm_decoder.decode_from(reader, 1)[0],
-                lambda n: bytes(imm_decoder.decode_from(reader, n)),
-            )
-            out.extend(instruction.encode())
-        return bytes(out)
+            opcode_entries: List[bytes] = []
+            while len(opcode_entries) < expected:
+                token = token_decoder.decode_from(reader, 1)[0]
+                expansion = dictionary.entries[token]
+                if not expansion or not all(expansion):
+                    # A token must expand to at least one non-empty
+                    # opcode string or the loop cannot advance; only a
+                    # corrupted deserialised dictionary gets here.
+                    raise CorruptedStreamError(
+                        f"dictionary entry {token} is empty",
+                        category=CATEGORY_STRUCTURE,
+                    )
+                opcode_entries.extend(expansion)
+            if len(opcode_entries) != expected:
+                raise ValueError(
+                    f"block {block_index}: group crossed block boundary"
+                )
+            out = bytearray()
+            for entry_bytes in opcode_entries:
+                instruction = reassemble_instruction(
+                    entry_bytes,
+                    lambda: modrm_decoder.decode_from(reader, 1)[0],
+                    lambda n: bytes(imm_decoder.decode_from(reader, n)),
+                )
+                out.extend(instruction.encode())
+            return bytes(out)

@@ -26,6 +26,8 @@ from repro.core.samc.model import SamcModel
 from repro.core.samc.streams import contiguous_streams, optimize_streams
 from repro.fastpath import fastpath_enabled
 from repro.obs import get_recorder
+from repro.resilience.errors import decode_guard
+from repro.resilience.frame import block_payload
 from repro.entropy.arith import (
     BinaryArithmeticDecoder,
     BinaryArithmeticEncoder,
@@ -265,11 +267,12 @@ class SamcCodec:
         (located via the LAT) and the shared model are consulted.
         """
         model: SamcModel = image.metadata["model"]
-        payload = image.blocks[block_index]
         block_bytes = self._original_block_bytes(image, block_index)
         word_count = block_bytes // self.word_bytes
         rec = get_recorder()
-        with rec.span("samc.decode_block"):
+        with rec.span("samc.decode_block"), \
+                decode_guard("samc.decompress_block"):
+            payload = block_payload(image, block_index)
             if fastpath_enabled():
                 from repro.fastpath.samc_kernel import compiled_model
 

@@ -120,7 +120,15 @@ class StreamModel:
         return self._p0_q
 
     def load_frozen(self, table: np.ndarray) -> None:
-        """Restore a frozen probability table (deserialisation path)."""
+        """Restore a frozen probability table (deserialisation path).
+
+        Only the shape is enforced here: the verifier deliberately
+        constructs models with out-of-range probabilities to exercise
+        its ``samc-distribution`` check, so range validation of
+        *untrusted* tables lives at the deserialisation boundary
+        (:mod:`repro.core.serialize`) and in the fastpath kernel
+        compile.
+        """
         if table.shape != (self.contexts, self._nodes):
             raise ValueError(
                 f"table shape {table.shape} != "

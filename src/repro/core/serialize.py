@@ -20,13 +20,22 @@ sections raise :class:`SerializationError`.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.lat import CompressedImage
+from repro.core.lat import CompressedImage, original_block_count
 from repro.core.samc.model import SamcModel
+from repro.entropy.arith import PROB_ONE
 from repro.entropy.huffman import HuffmanCode, canonical_codewords
+from repro.resilience.errors import (
+    CATEGORY_BUDGET,
+    CATEGORY_STRUCTURE,
+    CATEGORY_TRUNCATED,
+    CorruptedStreamError,
+    decode_guard,
+)
+from repro.resilience.frame import framing_enabled, is_framed, unwrap_frame, wrap_frame
 
 MAGIC = b"RCC1"
 
@@ -39,8 +48,12 @@ _PROB_MODES = {"full": 0, "full16": 1, "pow2": 2}
 _PROB_MODE_NAMES = {v: k for k, v in _PROB_MODES.items()}
 
 
-class SerializationError(ValueError):
-    """Raised for malformed or truncated serialised images."""
+class SerializationError(CorruptedStreamError):
+    """Raised for malformed or truncated serialised images.
+
+    A :class:`CorruptedStreamError` (and therefore a ``ValueError``)
+    carrying the byte offset and corruption category of the failure.
+    """
 
 
 class _Writer:
@@ -68,12 +81,40 @@ class _Reader:
         self._data = data
         self._pos = 0
 
+    @property
+    def offset(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
     def _take(self, count: int) -> bytes:
         if self._pos + count > len(self._data):
-            raise SerializationError("truncated image")
+            raise SerializationError(
+                "truncated image",
+                offset=self._pos,
+                category=CATEGORY_TRUNCATED,
+            )
         chunk = self._data[self._pos : self._pos + count]
         self._pos += count
         return chunk
+
+    def check_budget(self, items: int, bytes_per_item: int, what: str) -> None:
+        """Reject a declared count the remaining bytes cannot satisfy.
+
+        Every variable-length section states its element count up front;
+        validating the count against the bytes actually present bounds
+        all allocations by ``len(data)`` — a corrupted header cannot ask
+        for gigabytes.
+        """
+        if items * bytes_per_item > self.remaining:
+            raise SerializationError(
+                f"{what}: {items} declared entries need at least "
+                f"{items * bytes_per_item} bytes, only {self.remaining} left",
+                offset=self._pos,
+                category=CATEGORY_BUDGET,
+            )
 
     def u8(self) -> int:
         return self._take(1)[0]
@@ -125,10 +166,18 @@ def _write_huffman(writer: _Writer, code: HuffmanCode) -> None:
 
 def _read_huffman(reader: _Reader) -> HuffmanCode:
     count = reader.u16()
+    reader.check_budget(count, 5, "Huffman table")
     lengths: Dict[int, int] = {}
     for _ in range(count):
         symbol = reader.u32()
-        lengths[symbol] = reader.u8()
+        length = reader.u8()
+        if length == 0:
+            raise SerializationError(
+                f"Huffman symbol {symbol} declares a zero-length codeword",
+                offset=reader.offset - 1,
+                category=CATEGORY_STRUCTURE,
+            )
+        lengths[symbol] = length
     return HuffmanCode(lengths=lengths, codewords=canonical_codewords(lengths))
 
 
@@ -152,25 +201,83 @@ def _write_samc_model(writer: _Writer, image: CompressedImage) -> None:
                 _encode_probability(writer, int(table[context, node]), mode)
 
 
+#: Bytes one stored probability occupies per coding mode.
+_PROB_MODE_BYTES = {"full": 1, "full16": 2, "pow2": 1}
+
+#: Largest inter-stream connection order the format accepts (2**16
+#: tree replicas); a corrupted u8 would otherwise request ``1 << 255``
+#: contexts before a single table byte is read.
+_MAX_CONNECT_BITS = 16
+
+
 def _read_samc_model(reader: _Reader) -> Tuple[SamcModel, str]:
     width = reader.u8()
     n_streams = reader.u8()
     connect_bits = reader.u8()
-    mode = _PROB_MODE_NAMES[reader.u8()]
+    mode = _PROB_MODE_NAMES.get(reader.u8())
+    if mode is None:
+        raise SerializationError(
+            "unknown probability mode",
+            offset=reader.offset - 1,
+            category=CATEGORY_STRUCTURE,
+        )
+    if not 1 <= width <= 64 or width % 8 != 0:
+        raise SerializationError(
+            f"implausible SAMC word width {width}",
+            category=CATEGORY_STRUCTURE,
+        )
+    if not 1 <= n_streams <= width:
+        raise SerializationError(
+            f"implausible SAMC stream count {n_streams} for width {width}",
+            category=CATEGORY_STRUCTURE,
+        )
+    if connect_bits > _MAX_CONNECT_BITS:
+        raise SerializationError(
+            f"connect_bits {connect_bits} exceeds the format maximum "
+            f"{_MAX_CONNECT_BITS}",
+            category=CATEGORY_STRUCTURE,
+        )
     streams = []
     for _ in range(n_streams):
         k = reader.u8()
+        if not 1 <= k <= width:
+            raise SerializationError(
+                f"implausible stream size {k} for width {width}",
+                offset=reader.offset - 1,
+                category=CATEGORY_STRUCTURE,
+            )
         streams.append(tuple(reader.u8() for _ in range(k)))
     tables = []
     contexts = 1 << connect_bits
+    prob_bytes = _PROB_MODE_BYTES[mode]
     for stream in streams:
         nodes = (1 << len(stream)) - 1
+        reader.check_budget(contexts * nodes, prob_bytes, "SAMC table")
         table = np.zeros((contexts, nodes), dtype=np.int64)
         for context in range(contexts):
             for node in range(nodes):
                 table[context, node] = _decode_probability(reader, mode)
+        # A probability of 0 (or PROB_ONE) collapses one half of the
+        # range coder's interval, which the decode loop would spin on
+        # forever — reject untrusted tables here, at the boundary.
+        if table.size and (table.min() < 1 or table.max() > PROB_ONE - 1):
+            raise SerializationError(
+                "SAMC probability table holds values outside "
+                f"[1, {PROB_ONE - 1}]",
+                offset=reader.offset,
+                category=CATEGORY_STRUCTURE,
+            )
         tables.append(table)
-    return SamcModel.from_frozen(width, streams, connect_bits, tables), mode
+    try:
+        model = SamcModel.from_frozen(width, streams, connect_bits, tables)
+    except CorruptedStreamError:
+        raise
+    except ValueError as error:  # bad stream partition, wrong table shape
+        raise SerializationError(
+            f"inconsistent SAMC model: {error}",
+            category=CATEGORY_STRUCTURE,
+        ) from error
+    return model, mode
 
 
 # -- SADC models ----------------------------------------------------------------
@@ -210,9 +317,16 @@ def _read_sadc_mips_model(reader: _Reader) -> Tuple[object, Dict[str, HuffmanCod
     from repro.core.sadc.entry import DictEntry, Dictionary
 
     count = reader.u16()
+    reader.check_budget(count, 4, "SADC dictionary")
     dictionary = Dictionary(max_entries=max(256, count))
-    for _ in range(count):
+    for index in range(count):
         opcodes = tuple(reader.u8() for _ in range(reader.u8()))
+        if not opcodes:
+            raise SerializationError(
+                f"dictionary entry {index} declares zero opcodes",
+                offset=reader.offset,
+                category=CATEGORY_STRUCTURE,
+            )
         regs = tuple(
             (reader.u8(), reader.u8(), reader.u8())
             for _ in range(reader.u8())
@@ -244,14 +358,22 @@ def _read_sadc_x86_model(reader: _Reader):
     from repro.core.sadc.x86 import X86Dictionary
 
     count = reader.u16()
+    reader.check_budget(count, 2, "SADC x86 dictionary")
     dictionary = X86Dictionary(max_entries=max(256, count))
-    for _ in range(count):
+    for index in range(count):
         parts = tuple(
             reader.raw(reader.u8()) for _ in range(reader.u8())
         )
+        if not parts or not all(parts):
+            raise SerializationError(
+                f"x86 dictionary entry {index} holds an empty opcode string",
+                offset=reader.offset,
+                category=CATEGORY_STRUCTURE,
+            )
         dictionary.add(parts)
     codes = {key: _read_huffman(reader) for key in _X86_CODE_KEYS}
     n_counts = reader.u32()
+    reader.check_budget(n_counts, 2, "block instruction counts")
     counts = [reader.u16() for _ in range(n_counts)]
     return dictionary, codes, counts
 
@@ -269,8 +391,17 @@ def _algorithm_id(image: CompressedImage) -> int:
     raise SerializationError(f"cannot serialise algorithm {image.algorithm!r}")
 
 
-def serialize_image(image: CompressedImage) -> bytes:
-    """Serialise a compressed image to its standalone byte format."""
+def serialize_image(image: CompressedImage, framed: Optional[bool] = None) -> bytes:
+    """Serialise a compressed image to its standalone byte format.
+
+    ``framed=True`` wraps the archive in the resilience container
+    (:mod:`repro.resilience.frame`: magic, version, length, CRC-32) so
+    any corruption is detected before deserialisation begins.  The
+    default follows the ``REPRO_FRAMED`` environment switch and is off —
+    raw archives stay byte-identical with pre-framing releases.
+    """
+    if framed is None:
+        framed = framing_enabled()
     writer = _Writer()
     writer.raw(MAGIC)
     algo = _algorithm_id(image)
@@ -293,19 +424,61 @@ def serialize_image(image: CompressedImage) -> bytes:
         _write_huffman(writer, image.metadata["code"])
     for block in image.blocks:
         writer.raw(block)
-    return writer.getvalue()
+    archive = writer.getvalue()
+    return wrap_frame(archive) if framed else archive
 
 
 def deserialize_image(data: bytes) -> CompressedImage:
-    """Rebuild a decompressible :class:`CompressedImage` from bytes."""
+    """Rebuild a decompressible :class:`CompressedImage` from bytes.
+
+    Framed archives (see :func:`serialize_image`) are detected by their
+    magic and CRC-checked before any field is parsed; unframed archives
+    parse as before.  All parse failures raise
+    :class:`SerializationError` with offset and category.
+    """
+    with decode_guard("serialize.deserialize_image"):
+        if is_framed(data):
+            try:
+                data = unwrap_frame(data)
+            except SerializationError:
+                raise
+            except CorruptedStreamError as error:
+                # Uniform contract: every deserialize_image failure is a
+                # SerializationError, framed or not.
+                raise SerializationError(
+                    f"bad archive frame: {error.args[0]}",
+                    offset=error.offset,
+                    category=error.category,
+                ) from error
+        return _deserialize_archive(data)
+
+
+def _deserialize_archive(data: bytes) -> CompressedImage:
     reader = _Reader(data)
     if reader.raw(4) != MAGIC:
-        raise SerializationError("bad magic")
+        raise SerializationError(
+            "bad magic", offset=0, category=CATEGORY_STRUCTURE
+        )
     algo = reader.u8()
     original_size = reader.u32()
     block_size = reader.u16()
     model_bytes = reader.u32()
     n_blocks = reader.u32()
+    reader.check_budget(n_blocks, 2, "block size table")
+    # The block count is implied by the header: a forged count would
+    # send block decoders past the original image (raw IndexError) or
+    # silently drop blocks.  Enforce consistency at this boundary.
+    if block_size == 0:
+        raise SerializationError(
+            "block size is zero", category=CATEGORY_STRUCTURE
+        )
+    expected_blocks = original_block_count(original_size, block_size)
+    if n_blocks != expected_blocks:
+        raise SerializationError(
+            f"archive declares {n_blocks} blocks but {original_size} bytes "
+            f"at block size {block_size} require {expected_blocks}",
+            category=CATEGORY_STRUCTURE,
+        )
     sizes = [reader.u16() for _ in range(n_blocks)]
 
     if algo == ALGO_SAMC:
@@ -330,7 +503,17 @@ def deserialize_image(data: bytes) -> CompressedImage:
         }
         algorithm = "SADC"
     elif algo == ALGO_BYTE_HUFFMAN:
-        metadata = {"code": _read_huffman(reader)}
+        code = _read_huffman(reader)
+        # Huffman tables are generic u32-symbol maps (SADC token streams
+        # need that), but this table decodes to raw bytes.
+        bad = [s for s in code.lengths if not 0 <= s <= 0xFF]
+        if bad:
+            raise SerializationError(
+                f"byte-Huffman table holds non-byte symbol {bad[0]}",
+                offset=reader.offset,
+                category=CATEGORY_STRUCTURE,
+            )
+        metadata = {"code": code}
         algorithm = "byte-huffman"
     else:
         raise SerializationError(f"unknown algorithm id {algo}")

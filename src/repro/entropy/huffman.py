@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bitstream.io import BitReader, BitWriter
+from repro.resilience.errors import CATEGORY_SYMBOL, CorruptedStreamError
 
 
 @dataclass(frozen=True)
@@ -228,7 +229,11 @@ class HuffmanDecoder:
                     out.append(self._table[(length, word)])
                     break
                 if length > self._max_length:
-                    raise ValueError("invalid Huffman bit sequence")
+                    raise CorruptedStreamError(
+                        "invalid Huffman bit sequence",
+                        offset=reader.bit_position // 8,
+                        category=CATEGORY_SYMBOL,
+                    )
         return out
 
     def decode(self, data: bytes, count: int) -> List[int]:

@@ -123,17 +123,29 @@ class CompiledSamcModel:
         self.specs = model.specs
         self._tables = [sm.frozen_table for sm in model.stream_models]
         self._streams = []
+        prob_one = 1 << PROB_BITS
         for spec, stream_model in zip(model.specs, model.stream_models):
             k = spec.k
             shifts = tuple(model.width - 1 - p for p in spec.positions)
             mask = (1 << min(model.connect_bits, k)) - 1 if model.connect_bits else 0
-            self._streams.append(
-                (
-                    shifts,
-                    stream_model.node_count,
-                    stream_model.frozen_table.ravel().tolist(),
-                    mask,
+            p0_flat = stream_model.frozen_table.ravel().tolist()
+            # A probability of 0 (or PROB_ONE) collapses the range
+            # coder's split to nothing and the decode renormalisation
+            # loop below would never terminate; tables reaching this
+            # point from deserialisation are untrusted, so reject here.
+            if p0_flat and not (1 <= min(p0_flat) and max(p0_flat) <= prob_one - 1):
+                from repro.resilience.errors import (
+                    CATEGORY_STRUCTURE,
+                    CorruptedStreamError,
                 )
+
+                raise CorruptedStreamError(
+                    "compiled SAMC table holds probabilities outside "
+                    f"[1, {prob_one - 1}]",
+                    category=CATEGORY_STRUCTURE,
+                )
+            self._streams.append(
+                (shifts, stream_model.node_count, p0_flat, mask)
             )
 
     # -- encode --------------------------------------------------------

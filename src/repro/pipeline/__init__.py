@@ -18,12 +18,13 @@ from repro.pipeline.fingerprint import (
     code_digest,
     job_fingerprint,
 )
-from repro.pipeline.report import JobResult, PipelineReport
+from repro.pipeline.report import JobFailure, JobResult, PipelineReport
 
 __all__ = [
     "CODEC_SCHEMA_VERSION",
     "CacheStats",
     "ExperimentJob",
+    "JobFailure",
     "JobResult",
     "NullCache",
     "PipelineReport",

@@ -6,8 +6,10 @@ so a large cache never piles thousands of files into one directory.
 Writes are atomic (temp file + ``os.replace``), so a crashed or
 concurrent writer can never leave a torn entry — and even if something
 else corrupts a file, :meth:`ResultCache.get` treats *any* unreadable or
-mismatched entry as a miss (counted in ``stats.corrupt``), deletes it,
-and lets the pipeline recompute.  The cache never raises on bad data.
+mismatched entry as a miss (counted in ``stats.corrupt``), moves the
+offending file into a ``quarantine/`` subdirectory for post-mortem
+inspection (counted in ``stats.quarantined``), and lets the pipeline
+recompute.  The cache never raises on bad data.
 """
 
 from __future__ import annotations
@@ -18,6 +20,11 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+
+from repro.obs import get_recorder
+
+#: Subdirectory (under the cache dir) where corrupt entries are parked.
+QUARANTINE_DIR = "quarantine"
 
 #: Disk entry envelope version (independent of the codec schema version,
 #: which lives inside the fingerprint itself).
@@ -33,6 +40,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    quarantined: int = 0
 
     @property
     def hits(self) -> int:
@@ -50,6 +58,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
         }
 
 
@@ -118,15 +127,30 @@ class ResultCache:
             return entry["payload"]
         except (OSError, ValueError):
             self.stats.corrupt += 1
-            self._discard(path)
+            self._quarantine(path)
             return None
 
-    @staticmethod
-    def _discard(path: Path) -> None:
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so a recompute can overwrite it.
+
+        The original bytes are preserved under ``quarantine/`` — a
+        corruption you can't diagnose is a corruption you'll see again.
+        Falls back to deleting when even the move fails.
+        """
         try:
-            path.unlink()
+            target_dir = path.parent.parent / QUARANTINE_DIR
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
         except OSError:
-            pass  # unreadable *and* undeletable: recompute will overwrite
+            try:
+                path.unlink()
+            except OSError:
+                pass  # unreadable *and* unmovable: recompute will overwrite
+            return
+        self.stats.quarantined += 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count("resilience.cache_quarantined")
 
     # -- store ----------------------------------------------------------
 

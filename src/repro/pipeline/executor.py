@@ -18,7 +18,10 @@ are bit-identical by construction; the tests pin that property.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -26,7 +29,15 @@ from repro.obs import Recorder, get_recorder, merge_snapshots, obs_enabled, use_
 from repro.obs.clock import perf_seconds
 from repro.pipeline.cache import NullCache, ResultCache
 from repro.pipeline.fingerprint import job_fingerprint
-from repro.pipeline.report import JobResult, PipelineReport
+from repro.pipeline.report import (
+    FAILURE_CRASH,
+    FAILURE_ERROR,
+    FAILURE_GENERATION,
+    FAILURE_TIMEOUT,
+    JobFailure,
+    JobResult,
+    PipelineReport,
+)
 
 #: Payload schema stored in the cache for each completed job.
 _PAYLOAD_KEYS = frozenset({"ratio", "bytes_in", "bytes_out"})
@@ -111,6 +122,9 @@ def run_pipeline(
     jobs: List[ExperimentJob],
     max_workers: int = 1,
     cache: Optional[ResultCache] = None,
+    job_timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.05,
 ) -> PipelineReport:
     """Run a batch of experiment jobs, parallel across processes.
 
@@ -125,29 +139,70 @@ def run_pipeline(
         A :class:`ResultCache` (or :class:`NullCache` to disable).
         Defaults to a fresh in-process memo, which still deduplicates
         identical jobs within the batch.
+    job_timeout:
+        Per-job wall-clock budget in seconds.  Only enforceable on the
+        pool path (a worker can be abandoned; the inline path cannot
+        preempt itself).  Jobs over budget are recorded as failures.
+    retries:
+        How many times to re-run a job that raised (or whose worker
+        crashed) before recording it as failed.  Timeouts never retry.
+    retry_backoff:
+        Base of the exponential sleep between attempts
+        (``retry_backoff * 2**attempt`` seconds).
+
+    A failing job never aborts the batch: it is recorded in the
+    report's ``failures`` list and the remaining jobs complete.
     """
     with get_recorder().span("pipeline.run", jobs=len(jobs)):
-        return _run_pipeline(jobs, max_workers, cache)
+        return _run_pipeline(jobs, max_workers, cache, job_timeout, retries, retry_backoff)
 
 
 def _run_pipeline(
     jobs: List[ExperimentJob],
     max_workers: int,
     cache: Optional[ResultCache],
+    job_timeout: Optional[float],
+    retries: int,
+    retry_backoff: float,
 ) -> PipelineReport:
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     cache = cache if cache is not None else ResultCache()
     started = perf_seconds()
 
     # One generation per distinct program, shared across algorithms.
+    # A generation error fails every job that consumes that program —
+    # recorded, not raised, so the rest of the batch still runs.
     programs: Dict[Tuple[str, str, float, int], bytes] = {}
+    bad_programs: Dict[Tuple[str, str, float, int], BaseException] = {}
     for job in jobs:
         key = job.program_key()
-        if key not in programs:
+        if key in programs or key in bad_programs:
+            continue
+        try:
             programs[key] = _generate_code(job)
+        except Exception as error:
+            bad_programs[key] = error
 
-    fingerprints = [job.fingerprint(programs[job.program_key()]) for job in jobs]
+    failure_by_index: Dict[int, JobFailure] = {}
+    fingerprints: List[Optional[str]] = []
+    for index, job in enumerate(jobs):
+        key = job.program_key()
+        if key in bad_programs:
+            error = bad_programs[key]
+            failure_by_index[index] = JobFailure(
+                job=job,
+                fingerprint="",
+                kind=FAILURE_GENERATION,
+                error_type=error.__class__.__name__,
+                message=str(error),
+                attempts=1,
+            )
+            fingerprints.append(None)
+        else:
+            fingerprints.append(job.fingerprint(programs[key]))
 
     # Resolve against the cache; collect the misses to compute.
     results: List[Optional[JobResult]] = [None] * len(jobs)
@@ -155,6 +210,8 @@ def _run_pipeline(
     pending: List[int] = []
     resolved: Dict[str, Dict[str, Any]] = {}
     for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
+        if fingerprint is None:
+            continue
         if fingerprint in resolved:  # duplicate job inside this batch
             results[index] = _hit_result(job, fingerprint, resolved[fingerprint])
             payloads[index] = resolved[fingerprint]
@@ -171,28 +228,43 @@ def _run_pipeline(
     unique_pending: Dict[str, int] = {}
     for index in pending:
         unique_pending.setdefault(fingerprints[index], index)
-    computed: Dict[str, Dict[str, Any]] = {}
     work = [
         (fingerprints[index], jobs[index], programs[jobs[index].program_key()])
         for index in unique_pending.values()
     ]
     if max_workers == 1 or len(work) <= 1:
-        for fingerprint, job, code in work:
-            computed[fingerprint] = execute_job(job, code)
+        computed, failed = _run_serial(work, retries, retry_backoff)
     else:
-        with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
-            futures = [
-                (fingerprint, pool.submit(execute_job, job, code))
-                for fingerprint, job, code in work
-            ]
-            for fingerprint, future in futures:
-                computed[fingerprint] = future.result()
+        computed, failed = _run_pool(
+            work, max_workers, job_timeout, retries, retry_backoff
+        )
 
     for fingerprint, payload in computed.items():
         cache.put(fingerprint, payload)
     for index in pending:
         fingerprint = fingerprints[index]
-        payload = computed[fingerprint]
+        if fingerprint in failed:
+            template = failed[fingerprint]
+            failure_by_index[index] = JobFailure(
+                job=jobs[index],
+                fingerprint=fingerprint,
+                kind=template.kind,
+                error_type=template.error_type,
+                message=template.message,
+                attempts=template.attempts,
+            )
+            continue
+        payload = computed.get(fingerprint)
+        if payload is None:  # pool torn down before this job ran (timeout path)
+            failure_by_index[index] = JobFailure(
+                job=jobs[index],
+                fingerprint=fingerprint,
+                kind=FAILURE_TIMEOUT,
+                error_type="TimeoutError",
+                message="pool shut down after an earlier job timed out",
+                attempts=1,
+            )
+            continue
         payloads[index] = payload
         results[index] = JobResult(
             job=jobs[index],
@@ -203,6 +275,11 @@ def _run_pipeline(
             wall_time=payload.get("wall_time", 0.0),
             cache_hit=False,
         )
+
+    rec = get_recorder()
+    if rec.enabled:
+        for _ in failure_by_index:
+            rec.count("pipeline.job_failures")
 
     # Roll worker telemetry up, one contribution per job *occurrence*
     # (replay semantics: the aggregate is a pure function of the job
@@ -227,7 +304,153 @@ def _run_pipeline(
         total_wall_time=perf_seconds() - started,
         max_workers=max_workers,
         telemetry=telemetry,
+        failures=[failure_by_index[index] for index in sorted(failure_by_index)],
     )
+
+
+_Work = Tuple[str, ExperimentJob, bytes]
+
+
+def _failure(
+    job: ExperimentJob,
+    fingerprint: str,
+    kind: str,
+    error: BaseException,
+    attempts: int,
+) -> JobFailure:
+    return JobFailure(
+        job=job,
+        fingerprint=fingerprint,
+        kind=kind,
+        error_type=error.__class__.__name__,
+        message=str(error),
+        attempts=attempts,
+    )
+
+
+def _backoff(attempt: int, retry_backoff: float) -> None:
+    if retry_backoff > 0:
+        time.sleep(retry_backoff * (2 ** attempt))
+
+
+def _run_serial(
+    work: List[_Work], retries: int, retry_backoff: float
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, JobFailure]]:
+    """Inline execution with bounded retry.
+
+    No preemptive timeout here: the inline path cannot interrupt its own
+    stack, so ``job_timeout`` is a pool-only guarantee (documented on
+    :func:`run_pipeline`).
+    """
+    rec = get_recorder()
+    computed: Dict[str, Dict[str, Any]] = {}
+    failed: Dict[str, JobFailure] = {}
+    for fingerprint, job, code in work:
+        for attempt in range(retries + 1):
+            try:
+                computed[fingerprint] = execute_job(job, code)
+                break
+            except Exception as error:
+                if attempt < retries:
+                    if rec.enabled:
+                        rec.count("pipeline.job_retries")
+                    _backoff(attempt, retry_backoff)
+                    continue
+                failed[fingerprint] = _failure(
+                    job, fingerprint, FAILURE_ERROR, error, attempt + 1
+                )
+    return computed, failed
+
+
+def _run_pool(
+    work: List[_Work],
+    max_workers: int,
+    job_timeout: Optional[float],
+    retries: int,
+    retry_backoff: float,
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, JobFailure]]:
+    """Process-pool execution in retry waves, with crash isolation.
+
+    Each wave submits the remaining jobs and collects results with an
+    optional per-job timeout.  A worker crash (``BrokenProcessPool``)
+    poisons the pool, so it is rebuilt before the next wave; a timeout
+    abandons the whole pool (the stuck worker cannot be preempted) and
+    the jobs still queued behind it are recorded as timed out too.
+    """
+    rec = get_recorder()
+    computed: Dict[str, Dict[str, Any]] = {}
+    failed: Dict[str, JobFailure] = {}
+    attempts: Dict[str, int] = {fingerprint: 0 for fingerprint, _, _ in work}
+    remaining = list(work)
+    pool = ProcessPoolExecutor(max_workers=min(max_workers, len(work)))
+    try:
+        while remaining:
+            futures = [
+                (item, pool.submit(execute_job, item[1], item[2]))
+                for item in remaining
+            ]
+            retry_next: List[_Work] = []
+            abandoned = False
+            broken = False
+            for item, future in futures:
+                fingerprint, job, _ = item
+                if abandoned:
+                    # The pool was torn down after a timeout; this job may
+                    # never run.  Fail it rather than wait forever.
+                    failed[fingerprint] = JobFailure(
+                        job=job,
+                        fingerprint=fingerprint,
+                        kind=FAILURE_TIMEOUT,
+                        error_type="TimeoutError",
+                        message="pool shut down after an earlier job timed out",
+                        attempts=attempts[fingerprint] + 1,
+                    )
+                    continue
+                attempts[fingerprint] += 1
+                try:
+                    computed[fingerprint] = future.result(timeout=job_timeout)
+                except FuturesTimeoutError as error:
+                    if rec.enabled:
+                        rec.count("pipeline.job_timeouts")
+                    failed[fingerprint] = _failure(
+                        job, fingerprint, FAILURE_TIMEOUT, error, attempts[fingerprint]
+                    )
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    abandoned = True
+                except BrokenProcessPool as error:
+                    # The crash may have taken unrelated queued jobs with
+                    # it; every still-missing job gets another wave on a
+                    # fresh pool (or a crash record once out of retries).
+                    broken = True
+                    if attempts[fingerprint] <= retries:
+                        if rec.enabled:
+                            rec.count("pipeline.job_retries")
+                        retry_next.append(item)
+                    else:
+                        failed[fingerprint] = _failure(
+                            job, fingerprint, FAILURE_CRASH, error,
+                            attempts[fingerprint],
+                        )
+                except Exception as error:
+                    if attempts[fingerprint] <= retries:
+                        if rec.enabled:
+                            rec.count("pipeline.job_retries")
+                        _backoff(attempts[fingerprint] - 1, retry_backoff)
+                        retry_next.append(item)
+                    else:
+                        failed[fingerprint] = _failure(
+                            job, fingerprint, FAILURE_ERROR, error,
+                            attempts[fingerprint],
+                        )
+            if abandoned:
+                retry_next = []
+            elif broken and retry_next:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=min(max_workers, len(work)))
+            remaining = retry_next
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return computed, failed
 
 
 def _hit_result(

@@ -22,6 +22,38 @@ class JobResult:
     cache_hit: bool
 
 
+#: How a job failed: an in-codec exception, a per-job timeout, a worker
+#: process crash, or a benchmark-generation error.
+FAILURE_ERROR = "error"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_CRASH = "crash"
+FAILURE_GENERATION = "generation"
+
+
+@dataclass
+class JobFailure:
+    """One job the pipeline gave up on (after retries), and why.
+
+    Failed jobs are *recorded*, not raised: the suite completes with
+    partial results and the report's ``failures`` section says exactly
+    what is missing from the tables.
+    """
+
+    job: "ExperimentJob"
+    fingerprint: str
+    kind: str  # one of the FAILURE_* constants
+    error_type: str
+    message: str
+    attempts: int
+
+    def format(self) -> str:
+        where = f"{self.job.benchmark}/{self.job.isa}/{self.job.algorithm}"
+        return (
+            f"{where}: {self.kind} after {self.attempts} attempt(s) — "
+            f"{self.error_type}: {self.message}"
+        )
+
+
 @dataclass
 class PipelineReport:
     """Everything a pipeline run measured, in submission order."""
@@ -35,6 +67,9 @@ class PipelineReport:
     #: Merged telemetry snapshot (``repro.obs`` schema) when the run
     #: executed with observability enabled; ``None`` otherwise.
     telemetry: Optional[Dict[str, object]] = None
+    #: Jobs the run could not complete (exceptions after retries,
+    #: timeouts, worker crashes), in submission order.
+    failures: List[JobFailure] = field(default_factory=list)
 
     @property
     def job_count(self) -> int:
@@ -72,6 +107,8 @@ class PipelineReport:
             "cache_misses": self.misses,
             "recompressions": self.recompressions,
             "corrupt_entries": self.cache_stats.get("corrupt", 0),
+            "quarantined_entries": self.cache_stats.get("quarantined", 0),
+            "failures": len(self.failures),
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
             "workers": self.max_workers,
@@ -80,10 +117,20 @@ class PipelineReport:
         }
 
     def format(self) -> str:
-        """One-line human summary (stderr material, not figure output)."""
-        return (
+        """Human summary (stderr material, not figure output).
+
+        Degraded runs append one line per failed job so a partial table
+        is never mistaken for a complete one.
+        """
+        line = (
             f"pipeline: {self.job_count} jobs, "
             f"{self.hits} cache hits, {self.recompressions} recompressions, "
             f"{self.max_workers} worker(s), "
             f"{self.total_wall_time:.2f}s wall"
         )
+        if not self.failures:
+            return line
+        lines = [line + f", {len(self.failures)} FAILED"]
+        for failure in self.failures:
+            lines.append(f"  failed: {failure.format()}")
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Structured corruption errors and the guaranteed-termination guard.
+
+Every decode path in the repo (codecs, serializer, LAT lookups, frame
+container) reports malformed input through one exception type:
+:class:`CorruptedStreamError`.  It carries *where* the stream broke
+(``offset``, in bytes when known) and *how* (``category``), so a refill
+engine — or the fuzz driver — can distinguish a truncated payload from a
+bad checksum from an impossible symbol.
+
+The decode contract this module anchors is **guaranteed termination**:
+for *any* byte string, a decoder either returns output or raises
+``CorruptedStreamError`` — no infinite loops, no unbounded allocation,
+and no raw ``IndexError``/``KeyError``/``EOFError``/``struct.error``
+escaping to the caller.  :func:`decode_guard` is the enforcement
+boundary: wrap the body of a decode entry point in it and any low-level
+exception raised by malformed input is converted (with the original as
+``__cause__``) and counted through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs import get_recorder
+
+#: The closed set of corruption categories.
+CATEGORY_TRUNCATED = "truncated"   # stream ended before the decoder did
+CATEGORY_MAGIC = "magic"           # container/archive magic mismatch
+CATEGORY_VERSION = "version"       # unknown format version
+CATEGORY_CHECKSUM = "checksum"     # CRC mismatch over frame contents
+CATEGORY_SYMBOL = "symbol"         # undecodable code/symbol in the stream
+CATEGORY_STRUCTURE = "structure"   # field values inconsistent with format
+CATEGORY_BOUNDS = "bounds"         # index/offset outside the valid range
+CATEGORY_BUDGET = "budget"         # declared size exceeds allocation budget
+
+CATEGORIES = frozenset({
+    CATEGORY_TRUNCATED,
+    CATEGORY_MAGIC,
+    CATEGORY_VERSION,
+    CATEGORY_CHECKSUM,
+    CATEGORY_SYMBOL,
+    CATEGORY_STRUCTURE,
+    CATEGORY_BOUNDS,
+    CATEGORY_BUDGET,
+})
+
+
+class CorruptedStreamError(ValueError):
+    """Malformed compressed/serialised input, with offset and category.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    sites (and the pre-resilience tests) keep working; new code should
+    catch this type and read ``category``/``offset``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: Optional[int] = None,
+        category: str = CATEGORY_STRUCTURE,
+    ) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.category = category if category in CATEGORIES else CATEGORY_STRUCTURE
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        where = f" at offset {self.offset}" if self.offset is not None else ""
+        return f"{base} [{self.category}{where}]"
+
+
+#: Low-level exception -> corruption category for :func:`decode_guard`,
+#: checked in order (``struct.error`` subclasses ``ValueError``, so it
+#: must be classified first).
+_GUARDED = (
+    (EOFError, CATEGORY_TRUNCATED),
+    (struct.error, CATEGORY_STRUCTURE),
+    (IndexError, CATEGORY_BOUNDS),
+    (KeyError, CATEGORY_BOUNDS),
+    (MemoryError, CATEGORY_BUDGET),
+    (OverflowError, CATEGORY_BUDGET),
+    (ValueError, CATEGORY_SYMBOL),
+)
+
+_GUARDED_TYPES = tuple(exc for exc, _ in _GUARDED)
+
+
+@contextmanager
+def decode_guard(where: str, offset: Optional[int] = None) -> Iterator[None]:
+    """Convert low-level decode exceptions into ``CorruptedStreamError``.
+
+    ``where`` names the decode path for the error message and the obs
+    counter (``resilience.corruption_detected``).  A
+    ``CorruptedStreamError`` raised inside the guard passes through
+    unchanged (but is still counted).
+    """
+    try:
+        yield
+    except CorruptedStreamError as error:
+        _count(where, error.category)
+        raise
+    except _GUARDED_TYPES as error:
+        category = CATEGORY_STRUCTURE
+        for exc_type, mapped in _GUARDED:
+            if isinstance(error, exc_type):
+                category = mapped
+                break
+        _count(where, category)
+        raise CorruptedStreamError(
+            f"{where}: corrupted stream ({error.__class__.__name__}: {error})",
+            offset=offset,
+            category=category,
+        ) from error
+
+
+def _count(where: str, category: str) -> None:
+    rec = get_recorder()
+    if rec.enabled:
+        rec.count("resilience.corruption_detected")
+        rec.count(f"resilience.corruption.{category}")
+
+
+__all__ = [
+    "CATEGORIES",
+    "CATEGORY_BOUNDS",
+    "CATEGORY_BUDGET",
+    "CATEGORY_CHECKSUM",
+    "CATEGORY_MAGIC",
+    "CATEGORY_STRUCTURE",
+    "CATEGORY_SYMBOL",
+    "CATEGORY_TRUNCATED",
+    "CATEGORY_VERSION",
+    "CorruptedStreamError",
+    "decode_guard",
+]

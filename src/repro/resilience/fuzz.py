@@ -1,0 +1,235 @@
+"""Deterministic fault-injection fuzz driver (``python -m repro fuzz``).
+
+For a seeded stream of injected faults (bit flips, truncations, splices,
+duplications, LAT-entry perturbations) over every codec's output, the
+driver asserts the resilience contract:
+
+* **framed mode** — the fault is applied to a framed payload; decoding
+  must either round-trip to the original bytes (the fault missed, which
+  cannot happen for a non-identity fault under CRC-32 except by
+  collision) or raise :class:`CorruptedStreamError`.
+* **hardening mode** — the fault is applied to the *raw* bytes with no
+  frame; the decoder may return wrong output (statistical decoders have
+  no way to know) but must terminate inside the time budget and raise
+  nothing other than ``CorruptedStreamError``.
+
+Every decode is stop-watched; an iteration that exceeds the per-decode
+budget is a failure (the guaranteed-termination contract is about the
+refill path never hanging, so "slow" counts as broken).  All randomness
+comes from one ``random.Random(seed)``: a failure reproduces exactly
+from its seed and iteration count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.obs.clock import perf_seconds
+from repro.resilience.errors import CorruptedStreamError
+from repro.resilience.frame import unwrap_frame, wrap_frame
+from repro.resilience.inject import corrupt_lat_entry, sample_fault
+
+#: Per-decode wall-time budget (seconds).  Generous against CI jitter —
+#: a non-terminating decode would blow far past it.
+DEFAULT_TIME_BUDGET = 5.0
+
+
+@dataclass
+class FuzzTarget:
+    """One codec's canonical bytes plus its decode function."""
+
+    name: str
+    data: bytes
+    expected: bytes
+    decode: Callable[[bytes], bytes]
+
+
+@dataclass
+class FuzzReport:
+    """Outcome counters for one fuzz run."""
+
+    seed: int
+    iterations: int = 0
+    roundtrips: int = 0
+    #: Faults rejected with CorruptedStreamError, by category.
+    detected: Dict[str, int] = field(default_factory=dict)
+    #: Hardening decodes that terminated with (possibly wrong) output.
+    survived: int = 0
+    timeouts: int = 0
+    max_decode_seconds: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.timeouts == 0
+
+    def record_detection(self, category: str) -> None:
+        self.detected[category] = self.detected.get(category, 0) + 1
+
+    def format_lines(self) -> List[str]:
+        breakdown = ", ".join(
+            f"{category}={count}"
+            for category, count in sorted(self.detected.items())
+        )
+        lines = [
+            f"fuzz: seed {self.seed}, {self.iterations} iterations",
+            f"  detected:   {sum(self.detected.values())}"
+            + (f" ({breakdown})" if breakdown else ""),
+            f"  round-trips: {self.roundtrips}",
+            f"  survived raw decodes: {self.survived}",
+            f"  timeouts:   {self.timeouts} "
+            f"(max decode {self.max_decode_seconds * 1000:.1f} ms)",
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAILURE: {failure}")
+        lines.append("fuzz: PASS" if self.ok else "fuzz: FAIL")
+        return lines
+
+
+def build_targets(scale: float = 0.12, seed: int = 3) -> List[FuzzTarget]:
+    """Every codec's serialised output over small deterministic programs."""
+    # Imported here: the fuzz driver sits above the whole codec stack and
+    # must stay importable without dragging it in at module load.
+    from repro.baselines.byte_huffman import ByteHuffmanCodec
+    from repro.baselines.gzipish import gzipish_compress, gzipish_decompress
+    from repro.baselines.lzw import lzw_compress, lzw_decompress
+    from repro.core import decompress_image
+    from repro.core.sadc import MipsSadcCodec, X86SadcCodec
+    from repro.core.samc import SamcCodec
+    from repro.core.serialize import deserialize_image, serialize_image
+    from repro.workloads.suite import generate_benchmark
+
+    mips = generate_benchmark("gcc", "mips", scale=scale, seed=seed).code
+    x86 = generate_benchmark("gcc", "x86", scale=scale, seed=seed).code
+
+    def archive_decode(data: bytes) -> bytes:
+        return decompress_image(deserialize_image(data))
+
+    targets: List[FuzzTarget] = []
+    images = [
+        ("samc-mips", SamcCodec.for_mips().compress(mips), mips),
+        ("sadc-mips", MipsSadcCodec().compress(mips), mips),
+        ("sadc-x86", X86SadcCodec().compress(x86), x86),
+        ("byte-huffman", ByteHuffmanCodec().compress(mips), mips),
+    ]
+    for name, image, code in images:
+        targets.append(FuzzTarget(
+            name=name,
+            data=serialize_image(image, framed=False),
+            expected=code,
+            decode=archive_decode,
+        ))
+    targets.append(FuzzTarget(
+        name="lzw", data=lzw_compress(mips), expected=mips,
+        decode=lzw_decompress,
+    ))
+    targets.append(FuzzTarget(
+        name="gzipish", data=gzipish_compress(mips), expected=mips,
+        decode=gzipish_decompress,
+    ))
+    return targets
+
+
+def _timed(report: FuzzReport, label: str, budget: float, thunk):
+    """Run one decode under the stop-watch; returns (outcome, value).
+
+    ``outcome`` is "ok", "detected", or "failure" (already recorded).
+    """
+    started = perf_seconds()
+    try:
+        value = thunk()
+        outcome = "ok"
+    except CorruptedStreamError as error:
+        report.record_detection(error.category)
+        value = None
+        outcome = "detected"
+    except Exception as error:  # the contract bans every other type
+        report.failures.append(
+            f"{label}: leaked {error.__class__.__name__}: {error}"
+        )
+        value = None
+        outcome = "failure"
+    elapsed = perf_seconds() - started
+    report.max_decode_seconds = max(report.max_decode_seconds, elapsed)
+    if elapsed > budget:
+        report.timeouts += 1
+        report.failures.append(
+            f"{label}: decode took {elapsed:.2f}s (budget {budget:.2f}s)"
+        )
+    return outcome, value
+
+
+def run_fuzz(
+    seed: int,
+    iters: int,
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    scale: float = 0.12,
+) -> FuzzReport:
+    """Run the full fault-injection sweep; see the module docstring."""
+    rng = random.Random(seed)
+    targets = build_targets(scale=scale)
+    report = FuzzReport(seed=seed)
+
+    # One well-formed LAT to perturb (from the first image target's shape).
+    from repro.core.lat import build_lat
+    lat = build_lat([len(t.data) % 61 + 1 for t in targets] * 4)
+
+    for iteration in range(iters):
+        report.iterations += 1
+        target = targets[rng.randrange(len(targets))]
+
+        # Framed contract: corrupt the container, decode through it.
+        framed = wrap_frame(target.data)
+        fault, corrupted = sample_fault(rng, framed)
+        label = f"iter {iteration} {target.name} framed {fault}"
+
+        def framed_decode(data=corrupted, t=target):
+            return t.decode(unwrap_frame(data))
+
+        outcome, value = _timed(report, label, time_budget, framed_decode)
+        if outcome == "ok":
+            if value == target.expected:
+                report.roundtrips += 1
+            else:
+                report.failures.append(
+                    f"{label}: fault passed the CRC but decoded wrong"
+                )
+
+        # Hardening contract: corrupt the raw bytes, decode directly.
+        fault, corrupted = sample_fault(rng, target.data)
+        label = f"iter {iteration} {target.name} raw {fault}"
+        outcome, _value = _timed(
+            report, label, time_budget,
+            lambda data=corrupted, t=target: t.decode(data),
+        )
+        if outcome == "ok":
+            report.survived += 1
+
+        # Periodically, perturb a LAT entry: the structural validator
+        # must flag it (or the perturbation kept the table consistent,
+        # in which case every lookup must stay in range).
+        if iteration % 8 == 0:
+            index = rng.randrange(len(lat.offsets))
+            delta = rng.choice((-3, -1, 1, 2, 1 << 20))
+            bad = corrupt_lat_entry(lat, index, delta)
+            label = f"iter {iteration} lat entry {index} delta {delta}"
+
+            def lat_check(table=bad):
+                table.validate()
+                return b""
+
+            outcome, _value = _timed(report, label, time_budget, lat_check)
+            if outcome == "ok":
+                report.survived += 1
+    return report
+
+
+__all__ = [
+    "DEFAULT_TIME_BUDGET",
+    "FuzzReport",
+    "FuzzTarget",
+    "build_targets",
+    "run_fuzz",
+]

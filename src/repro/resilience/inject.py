@@ -1,0 +1,106 @@
+"""Seeded fault injectors for the fuzz driver and resilience tests.
+
+Each injector is a pure function of its arguments — the fuzz driver
+draws the parameters from one ``random.Random(seed)``, so a failing
+iteration reproduces exactly from ``--seed``/``--iters``.  Injectors
+never return the input unchanged: a "fault" that alters nothing would
+make the round-trip-or-detect contract vacuously pass.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Tuple
+
+FAULT_KINDS = ("bitflip", "truncate", "splice", "duplicate")
+
+
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    """Flip one bit; ``bit_index`` counts from the MSB of byte 0."""
+    if not data:
+        raise ValueError("cannot flip a bit in an empty payload")
+    byte_index, bit = divmod(bit_index % (len(data) * 8), 8)
+    out = bytearray(data)
+    out[byte_index] ^= 0x80 >> bit
+    return bytes(out)
+
+
+def truncate(data: bytes, length: int) -> bytes:
+    """Cut the payload to ``length`` bytes (strictly shorter)."""
+    if not 0 <= length < len(data):
+        raise ValueError(
+            f"truncation length {length} must be in [0, {len(data)})"
+        )
+    return data[:length]
+
+
+def splice_bytes(data: bytes, offset: int, replacement: bytes) -> bytes:
+    """Overwrite bytes at ``offset`` with ``replacement`` (same total size)."""
+    if not replacement:
+        raise ValueError("splice replacement must be non-empty")
+    if not 0 <= offset <= len(data) - len(replacement):
+        raise ValueError(f"splice at {offset} overruns the payload")
+    return data[:offset] + replacement + data[offset + len(replacement):]
+
+
+def duplicate_span(data: bytes, offset: int, length: int) -> bytes:
+    """Insert a copy of ``data[offset:offset+length]`` after itself."""
+    if length < 1 or not 0 <= offset <= len(data) - length:
+        raise ValueError(f"duplicate span {offset}+{length} overruns payload")
+    return data[: offset + length] + data[offset : offset + length] \
+        + data[offset + length :]
+
+
+def corrupt_lat_entry(lat, index: int, delta: int = 1):
+    """A copy of a (frozen) LAT with one offset entry perturbed.
+
+    Works for :class:`~repro.core.lat.LineAddressTable`; the returned
+    table should fail ``validate()`` or produce out-of-range lookups.
+    """
+    offsets = list(lat.offsets)
+    if not 0 <= index < len(offsets):
+        raise ValueError(f"LAT index {index} out of range")
+    if delta == 0:
+        raise ValueError("delta must be non-zero to inject a fault")
+    offsets[index] += delta
+    return replace(lat, offsets=tuple(offsets))
+
+
+def sample_fault(rng: random.Random, data: bytes) -> Tuple[str, bytes]:
+    """Draw one fault kind + parameters and apply it; never the identity.
+
+    Returns ``(description, corrupted_bytes)``; the description carries
+    the drawn parameters so failures are diagnosable from the report.
+    """
+    if not data:
+        raise ValueError("cannot inject a fault into an empty payload")
+    kind = FAULT_KINDS[rng.randrange(len(FAULT_KINDS))]
+    if kind == "bitflip":
+        bit = rng.randrange(len(data) * 8)
+        return f"bitflip@{bit}", flip_bit(data, bit)
+    if kind == "truncate":
+        length = rng.randrange(len(data))
+        return f"truncate->{length}", truncate(data, length)
+    if kind == "splice":
+        width = min(len(data), 1 + rng.randrange(8))
+        offset = rng.randrange(len(data) - width + 1)
+        replacement = bytes(rng.randrange(256) for _ in range(width))
+        corrupted = splice_bytes(data, offset, replacement)
+        if corrupted == data:  # drew the bytes already there: force a change
+            return f"bitflip@{offset * 8}", flip_bit(data, offset * 8)
+        return f"splice@{offset}x{width}", corrupted
+    length = min(len(data), 1 + rng.randrange(16))
+    offset = rng.randrange(len(data) - length + 1)
+    return f"duplicate@{offset}x{length}", duplicate_span(data, offset, length)
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "corrupt_lat_entry",
+    "duplicate_span",
+    "flip_bit",
+    "sample_fault",
+    "splice_bytes",
+    "truncate",
+]

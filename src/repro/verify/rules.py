@@ -31,6 +31,14 @@ Each rule encodes a correctness contract of this codebase:
     instead of calling ``time.time()`` / ``time.perf_counter()`` etc.
     directly — one sanctioned clock boundary keeps codec output a pure
     function of its inputs and makes timing swappable in tests.
+
+``no-assert-in-decoder``
+    Decode paths validate *untrusted* input, and ``assert`` disappears
+    under ``python -O`` — a decoder whose bounds checks are asserts is
+    hardened only in debug builds.  Inside any decode-flavoured function
+    in a codec path, input validation must raise
+    ``CorruptedStreamError`` (or run under ``decode_guard``), never use
+    a bare ``assert``.
 """
 
 from __future__ import annotations
@@ -351,6 +359,64 @@ class NoWallclockInCodec(FileRule):
         )
 
 
+class NoAssertInDecoder(FileRule):
+    """Flag ``assert`` inside decode-flavoured functions in codec paths.
+
+    ``assert`` is stripped under ``python -O``, so a decoder that guards
+    untrusted input with asserts silently loses its hardening in
+    optimised builds.  Raise ``CorruptedStreamError`` instead.
+    """
+
+    rule_id = "no-assert-in-decoder"
+    severity = SEVERITY_ERROR
+    description = (
+        "bare `assert` inside a decoder; stripped under python -O — "
+        "raise CorruptedStreamError instead"
+    )
+    paths = (
+        "core/",
+        "baselines/",
+        "entropy/",
+        "fastpath/",
+        "bitstream/",
+        "resilience/",
+    )
+
+    #: A function is a decoder when its name contains one of these.
+    _DECODE_VERBS = (
+        "decode",
+        "decompress",
+        "deserialize",
+        "unwrap",
+        "detokenize",
+        "reassemble",
+    )
+
+    def check(self, module: ParsedModule) -> List[Finding]:
+        stack = _function_stack(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            chain = stack.get(node, ())
+            if not any(
+                verb in name for name in chain for verb in self._DECODE_VERBS
+            ):
+                continue
+            findings.append(Finding(
+                rule=self.rule_id,
+                severity=self.severity,
+                file=module.display,
+                line=node.lineno,
+                message=(
+                    f"assert inside decoder {chain[-1]}() is stripped under "
+                    "python -O; raise CorruptedStreamError (or use "
+                    "decode_guard) for input validation"
+                ),
+            ))
+        return findings
+
+
 def _called_names(func: ast.AST) -> Set[str]:
     """Bare names of everything ``func`` calls (Name or Attribute form)."""
     names: Set[str] = set()
@@ -372,4 +438,5 @@ def default_rules() -> List[object]:
         UnseededRandom(),
         FastpathParity(),
         NoWallclockInCodec(),
+        NoAssertInDecoder(),
     ]

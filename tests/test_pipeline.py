@@ -289,3 +289,141 @@ class TestCli:
         assert main(args) == 0
         assert not _entry_files(tmp_path)
         assert "0 cache hits" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: failing jobs degrade the report, never abort the batch.
+# ---------------------------------------------------------------------------
+
+
+def _job(algorithm, benchmark="compress", **kwargs):
+    return ExperimentJob(benchmark, "mips", algorithm, scale=0.15, seed=3,
+                         **kwargs)
+
+
+class TestFaultTolerantPipeline:
+    def test_failing_job_is_isolated(self):
+        jobs = [_job("compress"), _job("no-such-algorithm"), _job("huffman")]
+        report = run_pipeline(jobs, cache=NullCache())
+        assert report.job_count == 2  # the two good jobs completed
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.kind == "error"
+        assert failure.error_type == "ValueError"
+        assert failure.job.algorithm == "no-such-algorithm"
+        assert failure.attempts == 1
+
+    def test_retries_are_counted_then_exhausted(self):
+        jobs = [_job("no-such-algorithm")]
+        report = run_pipeline(jobs, cache=NullCache(), retries=2,
+                              retry_backoff=0.0)
+        assert report.failures[0].attempts == 3  # 1 try + 2 retries
+
+    def test_generation_failure_fails_all_dependent_jobs(self):
+        jobs = [
+            ExperimentJob("no-such-benchmark", "mips", "compress", scale=0.15),
+            ExperimentJob("no-such-benchmark", "mips", "huffman", scale=0.15),
+            _job("compress"),
+        ]
+        report = run_pipeline(jobs, cache=NullCache())
+        assert report.job_count == 1
+        assert len(report.failures) == 2
+        assert all(f.kind == "generation" for f in report.failures)
+
+    def test_failures_identical_across_job_widths(self):
+        jobs = [_job("compress"), _job("no-such-algorithm"),
+                _job("huffman"), _job("no-such-algorithm", benchmark="tomcatv")]
+        serial = run_pipeline(jobs, max_workers=1, cache=NullCache())
+        parallel = run_pipeline(jobs, max_workers=4, cache=NullCache())
+        key = lambda f: (f.job, f.kind, f.error_type, f.attempts)
+        assert [key(f) for f in serial.failures] == \
+            [key(f) for f in parallel.failures]
+        assert serial.ratios() == parallel.ratios()
+
+    def test_pool_timeout_recorded_not_hung(self):
+        jobs = [_job("compress"), _job("huffman")]
+        report = run_pipeline(jobs, max_workers=2, cache=NullCache(),
+                              job_timeout=1e-6)
+        assert report.job_count == 0
+        assert len(report.failures) == 2
+        assert all(f.kind == "timeout" for f in report.failures)
+
+    def test_failure_report_renders(self):
+        report = run_pipeline([_job("no-such-algorithm")], cache=NullCache())
+        text = report.format()
+        assert "1 FAILED" in text
+        assert "no-such-algorithm" in text
+        assert report.summary()["failures"] == 1
+
+    def test_degraded_suite_renders_partial_table(self, monkeypatch):
+        # Make one algorithm blow up mid-suite and check the table still
+        # renders, with `-` in the damaged cells.
+        from repro.analysis import experiments
+        from repro.analysis.tables import format_suite
+
+        real = experiments.compression_ratio
+        blown = []
+
+        def flaky(code, algorithm, isa, block_size=32):
+            if algorithm == "huffman" and not blown:
+                blown.append(True)
+                raise RuntimeError("injected")
+            return real(code, algorithm, isa, block_size)
+
+        monkeypatch.setattr(experiments, "compression_ratio", flaky)
+        rows, report = run_suite_with_report(
+            "mips", algorithms=("compress", "huffman"), scale=0.15,
+            names=["compress", "tomcatv"], seed=3, cache=NullCache(),
+        )
+        assert len(report.failures) == 1
+        table = format_suite(rows)
+        assert f"  {'-':>9}" in table  # the damaged cell renders as a hole
+        assert "huffman" in table  # the column survives via the other row
+        assert len(rows) == 2
+
+    def test_failure_counters_reach_obs(self):
+        from repro.obs import obs_session
+
+        with obs_session() as recorder:
+            run_pipeline([_job("no-such-algorithm")], cache=NullCache(),
+                         retries=1, retry_backoff=0.0)
+            counters = recorder.snapshot()["counters"]
+        assert counters.get("pipeline.job_failures") == 1
+        assert counters.get("pipeline.job_retries") == 1
+
+
+class TestCacheQuarantine:
+    def test_corrupt_entries_are_quarantined(self, tmp_path):
+        run_pipeline(JOBS, cache=ResultCache(tmp_path))
+        entries = _entry_files(tmp_path)
+        entries[0].write_text("definitely { not json")
+
+        fresh = ResultCache(tmp_path)
+        run_pipeline(JOBS, cache=fresh)
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.quarantined == 1
+        assert fresh.stats.as_dict()["quarantined"] == 1
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [entries[0].name]
+        assert quarantined[0].read_text() == "definitely { not json"
+
+    def test_quarantine_counter_reaches_obs(self, tmp_path):
+        from repro.obs import obs_session
+
+        run_pipeline(JOBS, cache=ResultCache(tmp_path))
+        _entry_files(tmp_path)[0].write_text("xx")
+        with obs_session() as recorder:
+            run_pipeline(JOBS, cache=ResultCache(tmp_path))
+            counters = recorder.snapshot()["counters"]
+        assert counters.get("resilience.cache_quarantined") == 1
+
+    def test_quarantined_entry_not_reloaded(self, tmp_path):
+        # The quarantine dir must not shadow the live entry namespace:
+        # after recompute the fresh entry wins and hits normally.
+        run_pipeline(JOBS, cache=ResultCache(tmp_path))
+        _entry_files(tmp_path)[0].write_text("xx")
+        run_pipeline(JOBS, cache=ResultCache(tmp_path))
+        again = ResultCache(tmp_path)
+        report = run_pipeline(JOBS, cache=again)
+        assert report.hits == len(JOBS)
+        assert again.stats.corrupt == 0

@@ -384,6 +384,66 @@ class TestNoWallclockRule:
         assert _lint(root) == []
 
 
+class TestNoAssertInDecoderRule:
+    def test_assert_in_decoder_flagged(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "baselines/codec.py": """
+                def decompress(data):
+                    assert len(data) >= 4
+                    return data[4:]
+            """,
+        })
+        findings = _lint(root)
+        assert [f.rule for f in findings] == ["no-assert-in-decoder"]
+        assert "decompress" in findings[0].message
+        assert "python -O" in findings[0].message
+
+    def test_assert_in_nested_decode_helper_flagged(self, tmp_path):
+        # The enclosing-function chain counts: a helper nested inside a
+        # decode function is still validating untrusted input.
+        root = _write_tree(tmp_path, {
+            "core/codec.py": """
+                def decode_block(payload):
+                    def step(offset):
+                        assert offset < len(payload)
+                        return payload[offset]
+                    return step(0)
+            """,
+        })
+        assert [f.rule for f in _lint(root)] == ["no-assert-in-decoder"]
+
+    def test_assert_in_encoder_ignored(self, tmp_path):
+        # Encoders consume trusted in-process data; asserts are fine.
+        root = _write_tree(tmp_path, {
+            "baselines/codec.py": """
+                def compress(data):
+                    assert isinstance(data, bytes)
+                    return data
+            """,
+        })
+        assert _lint(root) == []
+
+    def test_assert_outside_codec_paths_ignored(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "analysis/tables.py": """
+                def decode_row(row):
+                    assert row
+                    return row
+            """,
+        })
+        assert _lint(root) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        root = _write_tree(tmp_path, {
+            "core/codec.py": """
+                def decompress(data):
+                    assert data  # repro: noqa no-assert-in-decoder
+                    return data
+            """,
+        })
+        assert _lint(root) == []
+
+
 # ---------------------------------------------------------------------------
 # Finding plumbing.
 # ---------------------------------------------------------------------------
