@@ -9,7 +9,9 @@ Subcommands
 ``stats``       run a sweep with telemetry on; render bit attribution
 ``bench-diff``  compare two BENCH_codec.json snapshots, flag regressions
 ``check``       static verification: codec invariants + repo lint rules
-``fuzz``        deterministic fault-injection sweep over every decoder
+``fuzz``        deterministic fault injection: decoders or the live service
+``serve``       run the compression service daemon
+``loadgen``     drive a running daemon with a paced mixed workload
 """
 
 from __future__ import annotations
@@ -262,7 +264,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(format_span_tree(snapshot["spans"]))
     print(report.format(), file=sys.stderr)
-    return 0
+    # A degraded sweep (failed cells) must not exit 0: the attribution
+    # table is partial, and CI treats stats output as authoritative.
+    return report_failures(
+        len(report.failures),
+        f"stats: {len(report.failures)} benchmark cell(s) failed",
+    )
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
@@ -361,24 +368,137 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    """Deterministic fault-injection sweep over every decode path.
+    """Deterministic fault injection: decoders, or the live service.
 
-    Builds real compressed artifacts (SAMC, SADC, byte-Huffman, LZW,
-    gzipish), corrupts them with seeded faults (bit flips, truncation,
-    splices, duplicated spans, LAT-entry edits), and asserts the decode
-    contract: every corrupted input either round-trips exactly or raises
-    ``CorruptedStreamError`` — within a per-decode time budget, never a
-    hang, never a raw low-level exception.  Exit 1 on any violation.
+    ``--target decoders`` (default) builds real compressed artifacts
+    (SAMC, SADC, byte-Huffman, LZW, gzipish), corrupts them with seeded
+    faults (bit flips, truncation, splices, duplicated spans, LAT-entry
+    edits), and asserts the decode contract: every corrupted input
+    either round-trips exactly or raises ``CorruptedStreamError`` —
+    within a time budget, never a hang, never a raw low-level exception.
+
+    ``--target service`` drives seeded malformed wire messages at a
+    daemon (``--host``/``--port``, or a self-hosted in-process one) and
+    asserts the service contract: every request gets a structured reply
+    — never a hang, a silent disconnect, a success for garbage, or a
+    leaked ``internal`` exception.  Exit 1 on any violation.
     """
-    from repro.resilience.fuzz import run_fuzz
+    if args.target == "service":
+        from repro.service.fuzz import run_service_fuzz
 
-    report = run_fuzz(
-        seed=args.seed,
-        iters=args.iters,
-        time_budget=args.time_budget,
+        report = run_service_fuzz(
+            seed=args.seed,
+            iters=args.iters,
+            host=args.host,
+            port=args.port,
+            time_budget=args.time_budget,
+        )
+        failure_count = report.failure_count
+    else:
+        from repro.resilience.fuzz import run_fuzz
+
+        report = run_fuzz(
+            seed=args.seed,
+            iters=args.iters,
+            time_budget=args.time_budget,
+        )
+        failure_count = len(report.failures) + report.timeouts
+    if args.format == "json":
+        emit_json(report.to_dict())
+    else:
+        print_lines(report.format_lines(), empty="fuzz: no iterations run")
+    status = report_failures(
+        failure_count,
+        f"fuzz ({args.target}): {failure_count} contract violation(s)",
     )
-    print_lines(report.format_lines(), empty="fuzz: no iterations run")
-    return 0 if report.ok else 1
+    return status if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compression service daemon until interrupted."""
+    import asyncio
+
+    from repro.service.server import CodecService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        batch_max=args.batch_max,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        registry_entries=args.registry_entries,
+    )
+
+    async def _serve() -> None:
+        service = CodecService(config)
+        host, port = await service.start()
+        print(f"repro service on {host}:{port} "
+              f"(codecs: {', '.join(sorted(service.codecs))})",
+              file=sys.stderr, flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running daemon with a paced mixed workload.
+
+    Exit 1 when the wire contract broke (any protocol error), or when
+    ``--min-rps`` was given and achieved throughput fell below it.
+    """
+    from repro.service.client import wait_for_service
+    from repro.service.loadgen import find_saturation, run_loadgen
+
+    if not wait_for_service(args.host, args.port, timeout=args.wait):
+        print(f"no service at {args.host}:{args.port} "
+              f"after {args.wait:.0f}s", file=sys.stderr)
+        return 1
+    if args.sweep:
+        reports, sustained = find_saturation(
+            args.host, args.port, start_rps=args.rps,
+            duration=args.duration, connections=args.connections,
+            seed=args.seed,
+        )
+        report = reports[-1]
+        if args.format == "json":
+            emit_json({
+                "rounds": [r.to_dict() for r in reports],
+                "sustained_rps": sustained,
+            })
+        else:
+            for r in reports:
+                print_lines(r.format_lines(), empty="loadgen: no rounds")
+                print()
+            print(f"saturation sweep: sustained {sustained:.0f} rps")
+    else:
+        report = run_loadgen(
+            args.host, args.port, rps=args.rps, duration=args.duration,
+            connections=args.connections, seed=args.seed,
+        )
+        if args.format == "json":
+            emit_json(report.to_dict())
+        else:
+            print_lines(report.format_lines(), empty="loadgen: nothing sent")
+    status = report_failures(
+        report.protocol_errors,
+        f"loadgen: {report.protocol_errors} protocol error(s) — "
+        "the wire contract must hold under load",
+    )
+    if args.min_rps is not None and report.achieved_rps < args.min_rps:
+        status |= report_failures(
+            1,
+            f"loadgen: achieved {report.achieved_rps:.1f} rps, "
+            f"floor is {args.min_rps:.1f}",
+        )
+    return status
 
 
 def _cmd_compress_file(args: argparse.Namespace) -> int:
@@ -496,17 +616,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     fuzz = sub.add_parser(
         "fuzz",
-        help="deterministic fault-injection sweep over every decode path",
+        help="deterministic fault injection: decoders or the live service",
     )
+    fuzz.add_argument("--target", choices=("decoders", "service"),
+                      default="decoders",
+                      help="what to fuzz: every decode path (default), or "
+                           "the wire protocol of a live daemon")
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--iters", type=int, default=200, metavar="N",
                       help="fault-injection iterations per sweep "
                            "(default 200)")
     fuzz.add_argument("--time-budget", type=float, default=5.0,
                       metavar="SECONDS",
-                      help="per-decode wall-clock budget; any decode over "
-                           "budget is a failure (default 5.0)")
+                      help="per-decode (or per-reply) wall-clock budget; "
+                           "anything over budget is a failure (default 5.0)")
+    fuzz.add_argument("--host", default=None,
+                      help="service target: daemon host (default: spawn an "
+                           "in-process daemon)")
+    fuzz.add_argument("--port", type=int, default=None,
+                      help="service target: daemon port")
+    fuzz.add_argument("--format", choices=("text", "json"), default="text")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    serve = sub.add_parser(
+        "serve", help="run the compression service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7341)
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="bounded request queue; full answers `busy`")
+    serve.add_argument("--batch-max", type=int, default=8,
+                       help="requests drained per dispatch batch")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="executor threads running codec work")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="per-connection in-flight request cap")
+    serve.add_argument("--registry-entries", type=int, default=32,
+                       help="warm SAMC model registry bound (LRU)")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running daemon with a paced mixed workload",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7341)
+    loadgen.add_argument("--rps", type=float, default=200.0,
+                         help="target request rate (default 200)")
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         metavar="SECONDS")
+    loadgen.add_argument("--connections", type=int, default=8,
+                         help="concurrent client connections (default 8)")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--wait", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="how long to wait for the daemon to answer "
+                              "health before giving up (default 10)")
+    loadgen.add_argument("--min-rps", type=float, default=None,
+                         metavar="RPS",
+                         help="fail unless achieved throughput reaches "
+                              "this floor")
+    loadgen.add_argument("--sweep", action="store_true",
+                         help="double the rate until saturation; report "
+                              "the highest sustained rps")
+    loadgen.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     compress_file = sub.add_parser(
         "compress-file", help="compress any binary to the on-ROM format"

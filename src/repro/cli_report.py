@@ -11,7 +11,41 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Any, Iterable, Optional, TextIO
+from typing import Any, Iterable, Optional, Sequence, TextIO
+
+
+def format_table(
+    rows: Sequence[Sequence[Any]],
+    headers: Optional[Sequence[str]] = None,
+    indent: str = "  ",
+) -> str:
+    """Render rows as an aligned two-or-more-column text table.
+
+    Every cell is ``str()``-ed and left-aligned to its column's widest
+    entry; with ``headers`` a ``-`` rule separates them from the body.
+    Used by ``stats``, ``loadgen``, and ``fuzz`` so tabular CLI output
+    shares one shape.
+    """
+    table = [[str(cell) for cell in row] for row in rows]
+    if headers is not None:
+        table = [[str(cell) for cell in headers]] + table
+    if not table:
+        return ""
+    columns = max(len(row) for row in table)
+    widths = [
+        max((len(row[i]) for row in table if i < len(row)), default=0)
+        for i in range(columns)
+    ]
+    if headers is not None:
+        table.insert(1, ["-" * width for width in widths])
+    lines = []
+    for row in table:
+        cells = [
+            cell.ljust(widths[i]) if i < len(row) - 1 else cell
+            for i, cell in enumerate(row)
+        ]
+        lines.append(indent + "  ".join(cells).rstrip())
+    return "\n".join(lines)
 
 
 def print_lines(

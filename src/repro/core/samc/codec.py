@@ -203,14 +203,34 @@ class SamcCodec:
 
     def compress(self, code: bytes) -> CompressedImage:
         """Compress a code image into independently decodable blocks."""
-        if len(code) % self.word_bytes != 0:
-            raise ValueError(
-                f"code length {len(code)} is not a multiple of the "
-                f"{self.word_bytes}-byte word size"
-            )
+        self._check_word_aligned(code)
         rec = get_recorder()
         with rec.span("samc.train", word_bits=self.word_bits):
             model = self.train(code)
+        return self.compress_with_model(code, model)
+
+    def compress_with_model(
+        self, code: bytes, model: SamcModel
+    ) -> CompressedImage:
+        """Compress ``code`` against an already-trained, frozen model.
+
+        This is the warm-model entry point: a long-lived service trains
+        the two-pass model once (:meth:`train`), freezes it, and reuses
+        it across requests — only the encode pass runs per call.  The
+        model must be frozen and built for this codec's word width; it
+        is only consulted, never mutated, so one model may be shared by
+        concurrent encodes.  ``compress(code)`` is exactly
+        ``compress_with_model(code, train(code))``.
+        """
+        self._check_word_aligned(code)
+        if not model.frozen:
+            raise ValueError("model must be frozen before encoding")
+        if model.width != self.word_bits:
+            raise ValueError(
+                f"model is for {model.width}-bit words, codec expects "
+                f"{self.word_bits}"
+            )
+        rec = get_recorder()
         if fastpath_enabled():
             from repro.fastpath.samc_kernel import compiled_model
 
@@ -241,7 +261,7 @@ class SamcCodec:
                 "model": model,
                 "word_bits": self.word_bits,
                 "streams": model.specs,
-                "connect_bits": self.connect_bits,
+                "connect_bits": model.connect_bits,
                 "probability_mode": self.probability_mode,
             },
         )
@@ -292,6 +312,13 @@ class SamcCodec:
         if block_index == full_blocks and tail:
             return tail
         raise IndexError(f"block {block_index} out of range")
+
+    def _check_word_aligned(self, code: bytes) -> None:
+        if len(code) % self.word_bytes != 0:
+            raise ValueError(
+                f"code length {len(code)} is not a multiple of the "
+                f"{self.word_bytes}-byte word size"
+            )
 
 
 def samc_compress(code: bytes, **kwargs) -> CompressedImage:

@@ -174,6 +174,16 @@ class SamcModel:
         self.stream_models = [StreamModel(spec, contexts) for spec in self.specs]
         self._frozen = False
 
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` (or :meth:`from_frozen`) has run.
+
+        A frozen model is immutable and safe to share across threads and
+        requests — the warm-model registry in :mod:`repro.service` keys
+        on this guarantee.
+        """
+        return self._frozen
+
     # -- walking -------------------------------------------------------
 
     def _context_from_bits(self, bits: List[int]) -> int:

@@ -15,6 +15,7 @@ holds the value semantics, chosen so that **merging is deterministic**:
 
 from __future__ import annotations
 
+import math
 from typing import Dict
 
 #: Largest histogram bucket index; values beyond 2**63 clamp here.
@@ -49,6 +50,43 @@ def observe(histogram: Dict[str, object], value: int) -> None:
     histogram["total"] += int(value)
 
 
+def histogram_quantile(histogram: Dict[str, object], q: float) -> int:
+    """Approximate the ``q``-quantile of a histogram cell.
+
+    Walks the cumulative counts to the bucket holding the ``q``-th
+    observation and returns that bucket's inclusive upper edge — a
+    conservative (never under-reporting) estimate, exact to within the
+    power-of-two bucket width.  This is what turns the service's
+    latency histograms into the p50/p99 figures ``repro serve`` reports.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = histogram["count"]
+    if count == 0:
+        return 0
+    rank = max(1, min(count, math.ceil(count * q)))
+    seen = 0
+    last = 0
+    for index in sorted(int(i) for i in histogram["buckets"]):
+        seen += histogram["buckets"][index]
+        last = index
+        if seen >= rank:
+            return bucket_bounds(index)[1] - 1
+    return bucket_bounds(last)[1] - 1
+
+
+def summarize_histogram(histogram: Dict[str, object]) -> Dict[str, int]:
+    """Count / mean / p50 / p95 / p99 summary of one histogram cell."""
+    count = histogram["count"]
+    return {
+        "count": count,
+        "mean": (histogram["total"] // count) if count else 0,
+        "p50": histogram_quantile(histogram, 0.50),
+        "p95": histogram_quantile(histogram, 0.95),
+        "p99": histogram_quantile(histogram, 0.99),
+    }
+
+
 def merge_histogram(into: Dict[str, object], other: Dict[str, object]) -> None:
     """Merge ``other`` into ``into``; deterministic (pure addition)."""
     buckets = into["buckets"]
@@ -63,7 +101,9 @@ __all__ = [
     "BUCKET_CAP",
     "bucket_bounds",
     "bucket_index",
+    "histogram_quantile",
     "merge_histogram",
     "new_histogram",
     "observe",
+    "summarize_histogram",
 ]

@@ -68,6 +68,20 @@ class FuzzReport:
     def record_detection(self, category: str) -> None:
         self.detected[category] = self.detected.get(category, 0) + 1
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": "decoders",
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "roundtrips": self.roundtrips,
+            "detected": dict(sorted(self.detected.items())),
+            "survived": self.survived,
+            "timeouts": self.timeouts,
+            "max_decode_ms": round(self.max_decode_seconds * 1000, 1),
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
     def format_lines(self) -> List[str]:
         breakdown = ", ".join(
             f"{category}={count}"

@@ -1,0 +1,233 @@
+"""Clients for the codec service: blocking (tests/tools) and asyncio.
+
+:class:`ServiceClient` is a plain-socket blocking client — one
+outstanding request at a time, matched by ``request_id`` — used by the
+test suite, the protocol fuzzer, and ad-hoc scripting.
+:class:`AsyncServiceClient` is the asyncio twin the load generator
+drives at target RPS.  Both speak the exact protocol of
+:mod:`repro.service.protocol`, including CRC validation of every
+response frame.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Dict, Optional, Tuple
+
+from repro.resilience.errors import (
+    CATEGORY_TRUNCATED,
+    CorruptedStreamError,
+)
+from repro.resilience.frame import FRAME_OVERHEAD, unwrap_frame
+from repro.service import protocol
+from repro.service.protocol import (
+    OP_COMPRESS,
+    OP_DECOMPRESS,
+    OP_HEALTH,
+    OP_STATS,
+    Request,
+    Response,
+    WireError,
+)
+
+
+class ServiceError(RuntimeError):
+    """A non-OK service reply, surfaced with its category and message."""
+
+    def __init__(self, response: Response) -> None:
+        super().__init__(
+            f"{protocol.STATUS_NAMES.get(response.status, response.status)}"
+            f" [{response.category}]: {response.message}"
+        )
+        self.response = response
+        self.status = response.status
+        self.category = response.category
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise WireError(
+                f"connection closed with {remaining} of {count} bytes "
+                "unread",
+                category=CATEGORY_TRUNCATED,
+                fatal=True,
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_response(
+    sock: socket.socket,
+    max_message: int = protocol.DEFAULT_MAX_MESSAGE,
+) -> Response:
+    """Read and decode one response message from a blocking socket."""
+    (length,) = protocol._LENGTH.unpack(_recv_exact(sock, 4))
+    if length > max_message or length < FRAME_OVERHEAD:
+        raise WireError(
+            f"implausible response length {length}", fatal=True
+        )
+    body = unwrap_frame(_recv_exact(sock, length))
+    return protocol.decode_response(body)
+
+
+class ServiceClient:
+    """Blocking, single-request-at-a-time client."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw access (the fuzzer uses these) ----------------------------
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship arbitrary bytes — malformed messages included."""
+        self._sock.sendall(data)
+
+    def shutdown_write(self) -> None:
+        """Half-close: no more requests, but replies still readable."""
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def read_response(self) -> Response:
+        return recv_response(self._sock)
+
+    # -- request/response ----------------------------------------------
+
+    def request(
+        self, op: int, codec: str = "", payload: bytes = b""
+    ) -> Response:
+        request_id = next(self._ids)
+        body = protocol.encode_request(Request(
+            op=op, request_id=request_id, codec=codec, payload=payload
+        ))
+        self._sock.sendall(protocol.pack_message(body))
+        response = recv_response(self._sock)
+        if response.request_id not in (request_id, 0):
+            raise WireError(
+                f"response for request {response.request_id}, "
+                f"expected {request_id}"
+            )
+        return response
+
+    def _checked(self, response: Response) -> Response:
+        if not response.ok:
+            raise ServiceError(response)
+        return response
+
+    def compress(self, codec: str, data: bytes) -> bytes:
+        return self._checked(
+            self.request(OP_COMPRESS, codec, data)
+        ).payload
+
+    def decompress(self, codec: str, data: bytes) -> bytes:
+        return self._checked(
+            self.request(OP_DECOMPRESS, codec, data)
+        ).payload
+
+    def stats(self) -> Dict[str, object]:
+        import json
+
+        return json.loads(self._checked(self.request(OP_STATS)).payload)
+
+    def health(self) -> Dict[str, object]:
+        import json
+
+        return json.loads(self._checked(self.request(OP_HEALTH)).payload)
+
+
+class AsyncServiceClient:
+    """Asyncio client; one in-flight request per instance."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self, op: int, codec: str = "", payload: bytes = b""
+    ) -> Response:
+        request_id = next(self._ids)
+        body = protocol.encode_request(Request(
+            op=op, request_id=request_id, codec=codec, payload=payload
+        ))
+        self._writer.write(protocol.pack_message(body))
+        await self._writer.drain()
+        reply = await protocol.read_message(self._reader)
+        if reply is None:
+            raise WireError(
+                "connection closed before the response",
+                category=CATEGORY_TRUNCATED,
+                fatal=True,
+            )
+        return protocol.decode_response(reply)
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def wait_for_service(
+    host: str, port: int, timeout: float = 10.0
+) -> bool:
+    """Poll until a daemon answers ``health`` (or the timeout lapses).
+
+    Lets scripts race-free ``repro serve & repro loadgen``: the load
+    generator waits for the daemon to come up instead of failing on the
+    first connection refusal.
+    """
+    import time
+
+    from repro.obs.clock import perf_seconds
+
+    deadline = perf_seconds() + timeout
+    while True:
+        try:
+            with ServiceClient(host, port, timeout=2.0) as client:
+                if client.health().get("status") == "ok":
+                    return True
+        except (OSError, CorruptedStreamError, ServiceError):
+            pass
+        if perf_seconds() >= deadline:
+            return False
+        time.sleep(0.1)
+
+
+__all__ = [
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceError",
+    "recv_response",
+    "wait_for_service",
+]

@@ -1,0 +1,81 @@
+"""Service codec adapters: one compress/decompress pair per wire name.
+
+The wire schema is codec-agnostic — a request names its codec with a
+string — and this module is the registry that resolves those names.
+Image codecs (SAMC, SADC, byte-Huffman) ship their output through the
+on-ROM archive format (:mod:`repro.core.serialize`), so a service
+response is exactly the bytes an embedded build would burn; SAMC
+variants route their training pass through the
+:class:`~repro.service.registry.WarmModelRegistry` so the two-pass cost
+is paid once per distinct input, not once per request.  The stream
+baselines (LZW, gzipish) pass through their native formats.
+
+Archives travel *unframed* inside the wire message: the RF01 container
+around every message already carries a CRC over the whole payload, and
+double-framing would just double the integrity overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.service.registry import WarmModelRegistry
+
+
+@dataclass(frozen=True)
+class ServiceCodec:
+    """One resolvable wire codec."""
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+def build_codecs(registry: WarmModelRegistry) -> Dict[str, ServiceCodec]:
+    """The full wire-name → adapter map served by the daemon."""
+    from repro.baselines.byte_huffman import ByteHuffmanCodec
+    from repro.baselines.gzipish import gzipish_compress, gzipish_decompress
+    from repro.baselines.lzw import lzw_compress, lzw_decompress
+    from repro.core import decompress_image
+    from repro.core.sadc import MipsSadcCodec, X86SadcCodec
+    from repro.core.samc import SamcCodec
+    from repro.core.serialize import deserialize_image, serialize_image
+
+    def archive_decompress(data: bytes) -> bytes:
+        return decompress_image(deserialize_image(data))
+
+    def warm_samc(name: str, codec: SamcCodec) -> Callable[[bytes], bytes]:
+        def compress(data: bytes) -> bytes:
+            model = registry.model_for(name, codec, data)
+            image = codec.compress_with_model(data, model)
+            return serialize_image(image, framed=False)
+
+        return compress
+
+    def image_compress(codec) -> Callable[[bytes], bytes]:
+        def compress(data: bytes) -> bytes:
+            return serialize_image(codec.compress(data), framed=False)
+
+        return compress
+
+    samc_mips = SamcCodec.for_mips()
+    samc_bytes = SamcCodec.for_bytes()
+    codecs = [
+        ServiceCodec("samc-mips", warm_samc("samc-mips", samc_mips),
+                     archive_decompress),
+        ServiceCodec("samc-bytes", warm_samc("samc-bytes", samc_bytes),
+                     archive_decompress),
+        ServiceCodec("sadc-mips", image_compress(MipsSadcCodec()),
+                     archive_decompress),
+        ServiceCodec("sadc-x86", image_compress(X86SadcCodec()),
+                     archive_decompress),
+        ServiceCodec("byte-huffman", image_compress(ByteHuffmanCodec()),
+                     archive_decompress),
+        ServiceCodec("lzw", lzw_compress, lzw_decompress),
+        ServiceCodec("gzipish", gzipish_compress, gzipish_decompress),
+    ]
+    return {codec.name: codec for codec in codecs}
+
+
+__all__ = ["ServiceCodec", "build_codecs"]

@@ -1,0 +1,314 @@
+"""Protocol fuzzing: seeded malformed requests against a live daemon.
+
+``python -m repro fuzz --target service`` drives this module.  Where
+the decoder fuzzer (:mod:`repro.resilience.fuzz`) corrupts *archives*
+and asserts the decode contract, this one corrupts *wire messages* and
+asserts the service contract:
+
+    every connection that sends bytes — any bytes — receives at least
+    one structured reply, within the time budget, and a malformed
+    request is never answered with success, a hang, a silent
+    disconnect, or an ``internal`` error (the signature of a leaked
+    server-side exception).
+
+Each iteration opens a fresh connection, sends one seeded mutation from
+the case table (garbage streams, truncated and oversized messages, CRC
+damage, schema violations, codec-level invalid inputs, corrupted
+archives), half-closes, and reads whatever comes back.  Valid probes
+are interleaved so a server that "passes" by rejecting everything
+fails on them.  All randomness comes from one ``random.Random(seed)``:
+a failure reproduces from its seed and iteration number.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.clock import perf_seconds
+from repro.resilience.errors import CorruptedStreamError
+from repro.service import protocol
+from repro.service.client import recv_response
+from repro.service.protocol import (
+    OP_COMPRESS,
+    OP_DECOMPRESS,
+    Request,
+    STATUS_OK,
+    encode_request,
+    pack_message,
+)
+
+#: Per-iteration reply budget (seconds); slower means "hang".
+DEFAULT_TIME_BUDGET = 5.0
+
+#: Outcome a fuzz case expects from the server.
+EXPECT_ERROR = "error"   # >= 1 structured non-OK reply
+EXPECT_OK = "ok"         # exactly a successful reply
+
+
+@dataclass
+class ServiceFuzzReport:
+    """Outcome counters for one protocol fuzz run."""
+
+    seed: int
+    iterations: int = 0
+    #: Structured error replies, by wire category.
+    rejected: Dict[str, int] = field(default_factory=dict)
+    ok_probes: int = 0
+    hangs: int = 0
+    max_reply_seconds: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.hangs == 0
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failures) + self.hangs
+
+    def record_rejection(self, category: str) -> None:
+        self.rejected[category] = self.rejected.get(category, 0) + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": "service",
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "rejected": dict(sorted(self.rejected.items())),
+            "ok_probes": self.ok_probes,
+            "hangs": self.hangs,
+            "max_reply_ms": round(self.max_reply_seconds * 1000, 1),
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
+    def format_lines(self) -> List[str]:
+        breakdown = ", ".join(
+            f"{category}={count}"
+            for category, count in sorted(self.rejected.items())
+        )
+        lines = [
+            f"service fuzz: seed {self.seed}, "
+            f"{self.iterations} iterations",
+            f"  rejected:  {sum(self.rejected.values())}"
+            + (f" ({breakdown})" if breakdown else ""),
+            f"  ok probes: {self.ok_probes}",
+            f"  hangs:     {self.hangs} "
+            f"(max reply {self.max_reply_seconds * 1000:.1f} ms)",
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAILURE: {failure}")
+        return lines
+
+
+# -- the case table ----------------------------------------------------------
+
+def _valid_request(rng: random.Random) -> bytes:
+    payload = bytes(rng.randrange(256) for _ in range(rng.randrange(16, 96)))
+    return pack_message(encode_request(Request(
+        op=OP_COMPRESS,
+        request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish",
+        payload=payload,
+    )))
+
+
+def _case_garbage(rng: random.Random) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64)))
+
+
+def _case_truncated(rng: random.Random) -> bytes:
+    message = _valid_request(rng)
+    return message[: rng.randrange(4, len(message))]
+
+
+def _case_bad_crc(rng: random.Random) -> bytes:
+    message = bytearray(_valid_request(rng))
+    # Flip one bit inside the frame (never the length prefix), so the
+    # reader collects the full message and the CRC must catch it.
+    index = rng.randrange(4, len(message))
+    message[index] ^= 1 << rng.randrange(8)
+    return bytes(message)
+
+
+def _case_oversized(rng: random.Random) -> bytes:
+    length = protocol.DEFAULT_MAX_MESSAGE + rng.randrange(1, 1 << 20)
+    return protocol._LENGTH.pack(length) + b"\x00" * 32
+
+
+def _case_unknown_op(rng: random.Random) -> bytes:
+    body = bytearray(encode_request(Request(
+        op=OP_COMPRESS, request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish", payload=b"x",
+    )))
+    body[0] = rng.choice((0, 5, 77, 255))
+    return pack_message(bytes(body))
+
+
+def _case_unknown_codec(rng: random.Random) -> bytes:
+    return pack_message(encode_request(Request(
+        op=OP_COMPRESS, request_id=rng.randrange(1, 1 << 31),
+        codec=f"no-such-codec-{rng.randrange(100)}", payload=b"x",
+    )))
+
+
+def _case_length_mismatch(rng: random.Random) -> bytes:
+    body = bytearray(encode_request(Request(
+        op=OP_COMPRESS, request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish", payload=b"abcdef",
+    )))
+    # Corrupt the declared payload length (last 4+6 bytes are len+payload).
+    body[-7] ^= 0x55
+    return pack_message(bytes(body))
+
+
+def _case_invalid_compress(rng: random.Random) -> bytes:
+    # samc-mips requires word-aligned input; 3 bytes cannot be.
+    return pack_message(encode_request(Request(
+        op=OP_COMPRESS, request_id=rng.randrange(1, 1 << 31),
+        codec="samc-mips", payload=b"\x01\x02\x03",
+    )))
+
+
+def _case_corrupt_archive(rng: random.Random) -> bytes:
+    # A truncated RCC1 archive: the deserialiser must reject it and the
+    # rejection must come back as a structured reply.
+    return pack_message(encode_request(Request(
+        op=OP_DECOMPRESS, request_id=rng.randrange(1, 1 << 31),
+        codec="samc-bytes",
+        payload=b"RCC1" + bytes(rng.randrange(256) for _ in range(9)),
+    )))
+
+
+def _case_empty_message(rng: random.Random) -> bytes:
+    # Declared length below the minimum frame size.
+    return protocol._LENGTH.pack(rng.randrange(0, 14)) + b"\x00" * 13
+
+
+CASES: List[Tuple[str, Callable[[random.Random], bytes], str]] = [
+    ("garbage", _case_garbage, EXPECT_ERROR),
+    ("truncated", _case_truncated, EXPECT_ERROR),
+    ("bad-crc", _case_bad_crc, EXPECT_ERROR),
+    ("oversized", _case_oversized, EXPECT_ERROR),
+    ("short-length", _case_empty_message, EXPECT_ERROR),
+    ("unknown-op", _case_unknown_op, EXPECT_ERROR),
+    ("unknown-codec", _case_unknown_codec, EXPECT_ERROR),
+    ("length-mismatch", _case_length_mismatch, EXPECT_ERROR),
+    ("invalid-compress", _case_invalid_compress, EXPECT_ERROR),
+    ("corrupt-archive", _case_corrupt_archive, EXPECT_ERROR),
+    ("valid-probe", _valid_request, EXPECT_OK),
+]
+
+
+# -- the driver --------------------------------------------------------------
+
+def _one_iteration(
+    address: Tuple[str, int],
+    label: str,
+    data: bytes,
+    expect: str,
+    budget: float,
+    report: ServiceFuzzReport,
+) -> None:
+    started = perf_seconds()
+    try:
+        sock = socket.create_connection(address, timeout=budget)
+    except OSError as error:
+        report.failures.append(f"{label}: cannot connect: {error}")
+        return
+    try:
+        sock.sendall(data)
+        # Half-close: the server sees EOF where the bytes stop, which is
+        # what forces a truncated-message verdict instead of a wait.
+        try:
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        try:
+            response = recv_response(sock)
+        except socket.timeout:
+            report.hangs += 1
+            report.failures.append(
+                f"{label}: no reply within {budget:.1f}s (hang)"
+            )
+            return
+        except CorruptedStreamError as error:
+            report.failures.append(
+                f"{label}: connection closed without a reply ({error})"
+            )
+            return
+        elapsed = perf_seconds() - started
+        report.max_reply_seconds = max(report.max_reply_seconds, elapsed)
+        if elapsed > budget:
+            report.hangs += 1
+            report.failures.append(
+                f"{label}: reply took {elapsed:.2f}s (budget {budget:.2f}s)"
+            )
+        if expect == EXPECT_OK:
+            if response.status == STATUS_OK:
+                report.ok_probes += 1
+            else:
+                report.failures.append(
+                    f"{label}: valid request rejected "
+                    f"[{response.category}] {response.message}"
+                )
+            return
+        if response.status == STATUS_OK:
+            report.failures.append(
+                f"{label}: malformed request answered with success"
+            )
+        elif response.category == "internal":
+            report.failures.append(
+                f"{label}: leaked server exception: {response.message}"
+            )
+        else:
+            report.record_rejection(response.category or "uncategorised")
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def run_service_fuzz(
+    seed: int,
+    iters: int,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    time_budget: float = DEFAULT_TIME_BUDGET,
+) -> ServiceFuzzReport:
+    """Fuzz a daemon; spins up an in-process one when no address given."""
+    rng = random.Random(seed)
+    report = ServiceFuzzReport(seed=seed)
+    server = None
+    if host is None:
+        from repro.service.server import ServerThread, ServiceConfig
+
+        server = ServerThread(ServiceConfig(port=0, queue_size=64))
+        address = server.start()
+    else:
+        address = (host, port if port is not None else protocol.DEFAULT_PORT)
+    try:
+        for iteration in range(iters):
+            report.iterations += 1
+            name, case, expect = CASES[rng.randrange(len(CASES))]
+            data = case(rng)
+            label = f"iter {iteration} {name}"
+            _one_iteration(
+                address, label, data, expect, time_budget, report
+            )
+    finally:
+        if server is not None:
+            server.stop()
+    return report
+
+
+__all__ = [
+    "CASES",
+    "DEFAULT_TIME_BUDGET",
+    "ServiceFuzzReport",
+    "run_service_fuzz",
+]

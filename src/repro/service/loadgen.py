@@ -1,0 +1,344 @@
+"""Mixed-workload load generator (``python -m repro loadgen``).
+
+Replays a deterministic mixed workload — compress and decompress
+requests across every wire codec, plus health probes — against a
+running daemon at a target request rate, then reports what the service
+actually sustained:
+
+* **achieved RPS** vs the target (and whether the run saturated);
+* **client-side latency percentiles** (p50/p95/p99/max, measured
+  request-to-reply, exact — not histogram-bucketed);
+* **error rate**, split into service errors (structured ``error``
+  replies), ``busy`` rejections (backpressure doing its job), and
+  protocol errors (anything that breaks the wire contract — the count
+  that must be zero on a healthy daemon);
+* with ``--sweep``, the **saturation point**: the rate is doubled until
+  achieved throughput falls below the sustain threshold.
+
+Pacing is open-loop per connection: each of ``connections`` asyncio
+workers owns an equal slice of the target rate and schedules sends on a
+fixed interval grid, so a slow reply delays that worker's next send but
+the measured "achieved RPS" honestly reflects the service, not the
+generator's politeness.  All workload choice is seeded — two runs with
+the same seed replay the same request sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.clock import perf_seconds
+from repro.resilience.errors import CorruptedStreamError
+from repro.service.client import AsyncServiceClient
+from repro.service.protocol import (
+    OP_COMPRESS,
+    OP_DECOMPRESS,
+    OP_HEALTH,
+    STATUS_BUSY,
+    STATUS_OK,
+)
+
+#: Fraction of the target rate a run must sustain to count as
+#: unsaturated.
+SUSTAIN_THRESHOLD = 0.90
+
+#: Per-request reply budget; a reply slower than this counts as a
+#: protocol failure (the daemon's decode contract bans hangs).
+REQUEST_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One replayable request template."""
+
+    label: str
+    op: int
+    codec: str
+    payload: bytes
+    weight: int
+
+
+def build_workload(seed: int = 0) -> List[WorkUnit]:
+    """The standard deterministic mix: every codec, both directions.
+
+    Payloads are small synthetic programs (hundreds of bytes to a few
+    KB) so a single CPU can clear hundreds of requests per second;
+    decompress units are pre-compressed here, once, and the SAMC
+    compress units warm the model registry on first touch.
+    """
+    from repro.baselines.byte_huffman import ByteHuffmanCodec
+    from repro.baselines.gzipish import gzipish_compress
+    from repro.baselines.lzw import lzw_compress
+    from repro.core.samc import SamcCodec
+    from repro.core.serialize import serialize_image
+    from repro.workloads.suite import generate_benchmark
+
+    mips = generate_benchmark("compress", "mips", scale=0.3, seed=seed).code
+    x86 = generate_benchmark("compress", "x86", scale=0.2, seed=seed).code
+    tiny = mips[: 512 - (512 % 4)]
+
+    samc_archive = serialize_image(
+        SamcCodec.for_bytes().compress(tiny), framed=False
+    )
+    huffman_archive = serialize_image(
+        ByteHuffmanCodec().compress(tiny), framed=False
+    )
+    units = [
+        WorkUnit("gzipish-c", OP_COMPRESS, "gzipish", mips, 5),
+        WorkUnit("gzipish-d", OP_DECOMPRESS, "gzipish",
+                 gzipish_compress(mips), 5),
+        WorkUnit("gzipish-c-x86", OP_COMPRESS, "gzipish", x86, 2),
+        WorkUnit("lzw-c", OP_COMPRESS, "lzw", tiny, 2),
+        WorkUnit("lzw-d", OP_DECOMPRESS, "lzw", lzw_compress(tiny), 2),
+        WorkUnit("samc-bytes-c", OP_COMPRESS, "samc-bytes", tiny, 1),
+        WorkUnit("samc-bytes-d", OP_DECOMPRESS, "samc-bytes",
+                 samc_archive, 1),
+        WorkUnit("byte-huffman-d", OP_DECOMPRESS, "byte-huffman",
+                 huffman_archive, 1),
+        WorkUnit("health", OP_HEALTH, "", b"", 1),
+    ]
+    return units
+
+
+@dataclass
+class LoadgenReport:
+    """Everything one loadgen run measured."""
+
+    target_rps: float
+    duration: float
+    connections: int
+    seed: int
+    sent: int = 0
+    ok: int = 0
+    busy: int = 0
+    service_errors: int = 0
+    protocol_errors: int = 0
+    elapsed: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.ok / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        failed = self.service_errors + self.protocol_errors
+        return failed / self.sent if self.sent else 0.0
+
+    @property
+    def saturated(self) -> bool:
+        return self.achieved_rps < SUSTAIN_THRESHOLD * self.target_rps
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target_rps": self.target_rps,
+            "achieved_rps": round(self.achieved_rps, 2),
+            "duration_seconds": self.duration,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "connections": self.connections,
+            "seed": self.seed,
+            "requests_sent": self.sent,
+            "ok": self.ok,
+            "busy": self.busy,
+            "service_errors": self.service_errors,
+            "protocol_errors": self.protocol_errors,
+            "error_rate": round(self.error_rate, 6),
+            "saturated": self.saturated,
+            "latency_ms": {
+                "p50": round(self.percentile_ms(0.50), 3),
+                "p95": round(self.percentile_ms(0.95), 3),
+                "p99": round(self.percentile_ms(0.99), 3),
+                "max": round(max(self.latencies_ms), 3)
+                if self.latencies_ms else 0.0,
+            },
+        }
+
+    def format_lines(self) -> List[str]:
+        from repro.cli_report import format_table
+
+        doc = self.to_dict()
+        latency = doc["latency_ms"]
+        rows: Sequence[Sequence[object]] = [
+            ("target rps", f"{self.target_rps:.0f}"),
+            ("achieved rps", f"{self.achieved_rps:.1f}"),
+            ("requests", f"{self.sent} sent / {self.ok} ok / "
+                         f"{self.busy} busy"),
+            ("errors", f"{self.service_errors} service / "
+                       f"{self.protocol_errors} protocol "
+                       f"({100 * self.error_rate:.2f}%)"),
+            ("latency p50", f"{latency['p50']:.2f} ms"),
+            ("latency p95", f"{latency['p95']:.2f} ms"),
+            ("latency p99", f"{latency['p99']:.2f} ms"),
+            ("latency max", f"{latency['max']:.2f} ms"),
+            ("saturated", "yes" if self.saturated else "no"),
+        ]
+        lines = [f"loadgen: {self.duration:.0f}s @ {self.target_rps:.0f} rps "
+                 f"over {self.connections} connections (seed {self.seed})"]
+        lines.extend(format_table(rows).splitlines())
+        for sample in self.error_samples[:5]:
+            lines.append(f"  error: {sample}")
+        return lines
+
+
+async def _worker(
+    host: str,
+    port: int,
+    units: Sequence[WorkUnit],
+    weights: Sequence[int],
+    rate: float,
+    deadline: float,
+    start_at: float,
+    rng: random.Random,
+    report: LoadgenReport,
+) -> None:
+    client: Optional[AsyncServiceClient] = None
+    interval = 1.0 / rate if rate > 0 else 0.0
+    next_send = start_at
+    while True:
+        now = perf_seconds()
+        if now >= deadline:
+            break
+        if next_send > now:
+            await asyncio.sleep(next_send - now)
+        next_send = max(next_send + interval, perf_seconds())
+        unit = rng.choices(units, weights=weights)[0]
+        report.sent += 1
+        started = perf_seconds()
+        try:
+            if client is None:
+                client = await AsyncServiceClient.connect(host, port)
+            response = await asyncio.wait_for(
+                client.request(unit.op, unit.codec, unit.payload),
+                timeout=REQUEST_TIMEOUT,
+            )
+        except (CorruptedStreamError, asyncio.TimeoutError,
+                ConnectionError, OSError) as error:
+            report.protocol_errors += 1
+            if len(report.error_samples) < 16:
+                report.error_samples.append(
+                    f"{unit.label}: {type(error).__name__}: {error}"
+                )
+            if client is not None:
+                await client.close()
+                client = None
+            continue
+        latency_ms = (perf_seconds() - started) * 1000.0
+        report.latencies_ms.append(latency_ms)
+        if response.status == STATUS_OK:
+            report.ok += 1
+        elif response.status == STATUS_BUSY:
+            report.busy += 1
+        else:
+            report.service_errors += 1
+            if len(report.error_samples) < 16:
+                report.error_samples.append(
+                    f"{unit.label}: [{response.category}] "
+                    f"{response.message}"
+                )
+    if client is not None:
+        await client.close()
+
+
+async def _run(
+    host: str,
+    port: int,
+    rps: float,
+    duration: float,
+    connections: int,
+    seed: int,
+    units: Sequence[WorkUnit],
+) -> LoadgenReport:
+    report = LoadgenReport(
+        target_rps=rps, duration=duration,
+        connections=connections, seed=seed,
+    )
+    weights = [unit.weight for unit in units]
+    start = perf_seconds()
+    deadline = start + duration
+    per_worker = rps / connections
+    tasks = [
+        asyncio.ensure_future(_worker(
+            host, port, units, weights, per_worker, deadline,
+            # Stagger workers across one interval so sends interleave.
+            start + (index / connections) / per_worker,
+            random.Random(seed * 1_000_003 + index),
+            report,
+        ))
+        for index in range(connections)
+    ]
+    await asyncio.gather(*tasks)
+    report.elapsed = perf_seconds() - start
+    return report
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    rps: float = 200.0,
+    duration: float = 5.0,
+    connections: int = 8,
+    seed: int = 0,
+    units: Optional[Sequence[WorkUnit]] = None,
+) -> LoadgenReport:
+    """Run one paced burst against a live daemon; see the module doc."""
+    if rps <= 0 or duration <= 0:
+        raise ValueError("rps and duration must be positive")
+    connections = max(1, min(connections, int(rps) or 1))
+    if units is None:
+        units = build_workload(seed)
+    return asyncio.run(
+        _run(host, port, rps, duration, connections, seed, list(units))
+    )
+
+
+def find_saturation(
+    host: str,
+    port: int,
+    start_rps: float = 50.0,
+    duration: float = 3.0,
+    connections: int = 8,
+    seed: int = 0,
+    max_rounds: int = 6,
+) -> Tuple[List[LoadgenReport], float]:
+    """Double the rate until the service stops keeping up.
+
+    Returns every round's report plus the saturation point: the highest
+    target rate the service sustained (>= :data:`SUSTAIN_THRESHOLD` of
+    target with no protocol errors).
+    """
+    reports: List[LoadgenReport] = []
+    sustained = 0.0
+    rate = start_rps
+    for _ in range(max_rounds):
+        report = run_loadgen(
+            host, port, rps=rate, duration=duration,
+            connections=connections, seed=seed,
+        )
+        reports.append(report)
+        if report.saturated or report.protocol_errors:
+            break
+        sustained = rate
+        rate *= 2
+    return reports, sustained
+
+
+__all__ = [
+    "LoadgenReport",
+    "REQUEST_TIMEOUT",
+    "SUSTAIN_THRESHOLD",
+    "WorkUnit",
+    "build_workload",
+    "find_saturation",
+    "run_loadgen",
+]

@@ -1,0 +1,372 @@
+"""The service wire protocol: length-prefixed, RF01-framed messages.
+
+Every message — request or response, either direction — is::
+
+    u32 frame_len | RF01 frame (magic, version, flags, len, CRC-32, body)
+
+The outer ``u32`` tells the stream reader how many bytes to collect; the
+RF01 container (:mod:`repro.resilience.frame`) gives every wire payload
+an end-to-end CRC, so a flipped bit anywhere in transit is *detected*
+rather than decoded into a plausible wrong answer — the same contract
+the on-ROM archives get.  Bodies are a small codec-agnostic schema, all
+integers big-endian:
+
+Request body::
+
+    u8 op | u32 request_id | u8 codec_len | codec utf-8
+    u32 payload_len | payload
+
+Response body::
+
+    u8 op | u8 status | u32 request_id
+    status OK:    u32 payload_len | payload
+    status else:  u8 category_len | category | u16 message_len | message
+
+``request_id`` is an opaque client token echoed in the response, so a
+client may pipeline requests on one connection and match replies out of
+order (the server batches, which can reorder).  Parse failures raise
+:class:`WireError` — a :class:`CorruptedStreamError` that additionally
+carries the ``request_id`` when the header parsed far enough to know it,
+and a ``fatal`` flag saying whether the byte stream can still be trusted
+(a malformed body inside a valid frame is recoverable; a bad frame or
+truncated read means the connection must reply-then-close).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.resilience.errors import (
+    CATEGORY_BUDGET,
+    CATEGORY_STRUCTURE,
+    CATEGORY_TRUNCATED,
+    CorruptedStreamError,
+    decode_guard,
+)
+from repro.resilience.frame import FRAME_OVERHEAD, unwrap_frame, wrap_frame
+
+#: Default TCP port of ``python -m repro serve``.
+DEFAULT_PORT = 7341
+
+#: Largest accepted wire message (frame included).  A declared length
+#: beyond this is rejected before a single payload byte is read, so a
+#: forged prefix cannot make the server buffer gigabytes.
+DEFAULT_MAX_MESSAGE = 8 * 1024 * 1024
+
+OP_COMPRESS = 1
+OP_DECOMPRESS = 2
+OP_STATS = 3
+OP_HEALTH = 4
+
+OPS = frozenset({OP_COMPRESS, OP_DECOMPRESS, OP_STATS, OP_HEALTH})
+OP_NAMES = {
+    OP_COMPRESS: "compress",
+    OP_DECOMPRESS: "decompress",
+    OP_STATS: "stats",
+    OP_HEALTH: "health",
+}
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+STATUS_BUSY = 2
+
+STATUS_NAMES = {STATUS_OK: "ok", STATUS_ERROR: "error", STATUS_BUSY: "busy"}
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(CorruptedStreamError):
+    """A malformed wire message.
+
+    ``fatal`` marks stream desynchronisation: the reader can no longer
+    trust the next length prefix, so the connection should send one
+    structured error reply and close.  Non-fatal errors (a bad body in
+    an intact frame) leave the stream positioned at the next message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: Optional[int] = None,
+        category: str = CATEGORY_STRUCTURE,
+        request_id: int = 0,
+        fatal: bool = False,
+    ) -> None:
+        super().__init__(message, offset=offset, category=category)
+        self.request_id = request_id
+        self.fatal = fatal
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded service request."""
+
+    op: int
+    request_id: int
+    codec: str = ""
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decoded service response."""
+
+    op: int
+    status: int
+    request_id: int
+    payload: bytes = b""
+    category: str = ""
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+def error_response(
+    op: int,
+    request_id: int,
+    category: str,
+    message: str,
+    status: int = STATUS_ERROR,
+) -> Response:
+    """A structured failure reply (status ``error`` or ``busy``)."""
+    return Response(
+        op=op,
+        status=status,
+        request_id=request_id,
+        category=category,
+        message=message,
+    )
+
+
+# -- body encode/decode ------------------------------------------------------
+
+def encode_request(request: Request) -> bytes:
+    codec = request.codec.encode("utf-8")
+    if len(codec) > 0xFF:
+        raise ValueError("codec name exceeds 255 bytes")
+    if not 0 <= request.request_id <= 0xFFFFFFFF:
+        raise ValueError("request_id must fit in a u32")
+    return b"".join((
+        struct.pack(">BIB", request.op, request.request_id, len(codec)),
+        codec,
+        _LENGTH.pack(len(request.payload)),
+        request.payload,
+    ))
+
+
+def decode_request(body: bytes) -> Request:
+    """Parse a request body; raises :class:`WireError` on any defect."""
+    with decode_guard("service.decode_request"):
+        if len(body) < 6:
+            raise WireError(
+                f"request header needs 6 bytes, got {len(body)}",
+                offset=len(body),
+                category=CATEGORY_TRUNCATED,
+            )
+        op, request_id, codec_len = struct.unpack_from(">BIB", body)
+        if op not in OPS:
+            raise WireError(
+                f"unknown op {op}",
+                offset=0,
+                request_id=request_id,
+            )
+        pos = 6
+        if pos + codec_len + 4 > len(body):
+            raise WireError(
+                "request truncated inside the codec/length fields",
+                offset=len(body),
+                category=CATEGORY_TRUNCATED,
+                request_id=request_id,
+            )
+        try:
+            codec = body[pos : pos + codec_len].decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError(
+                "codec name is not valid UTF-8",
+                offset=pos,
+                request_id=request_id,
+            ) from error
+        pos += codec_len
+        (payload_len,) = _LENGTH.unpack_from(body, pos)
+        pos += 4
+        if payload_len != len(body) - pos:
+            raise WireError(
+                f"request declares {payload_len} payload bytes but "
+                f"{len(body) - pos} follow",
+                offset=pos,
+                request_id=request_id,
+            )
+        return Request(
+            op=op,
+            request_id=request_id,
+            codec=codec,
+            payload=body[pos:],
+        )
+
+
+def encode_response(response: Response) -> bytes:
+    head = struct.pack(
+        ">BBI", response.op, response.status, response.request_id
+    )
+    if response.status == STATUS_OK:
+        return head + _LENGTH.pack(len(response.payload)) + response.payload
+    category = response.category.encode("utf-8")[:0xFF]
+    message = response.message.encode("utf-8")[:0xFFFF]
+    return b"".join((
+        head,
+        struct.pack(">B", len(category)),
+        category,
+        struct.pack(">H", len(message)),
+        message,
+    ))
+
+
+def decode_response(body: bytes) -> Response:
+    """Parse a response body; raises :class:`WireError` on any defect."""
+    with decode_guard("service.decode_response"):
+        if len(body) < 6:
+            raise WireError(
+                f"response header needs 6 bytes, got {len(body)}",
+                offset=len(body),
+                category=CATEGORY_TRUNCATED,
+            )
+        op, status, request_id = struct.unpack_from(">BBI", body)
+        pos = 6
+        if status == STATUS_OK:
+            if pos + 4 > len(body):
+                raise WireError(
+                    "response truncated before the payload length",
+                    offset=len(body),
+                    category=CATEGORY_TRUNCATED,
+                    request_id=request_id,
+                )
+            (payload_len,) = _LENGTH.unpack_from(body, pos)
+            pos += 4
+            if payload_len != len(body) - pos:
+                raise WireError(
+                    f"response declares {payload_len} payload bytes but "
+                    f"{len(body) - pos} follow",
+                    offset=pos,
+                    request_id=request_id,
+                )
+            return Response(
+                op=op, status=status, request_id=request_id,
+                payload=body[pos:],
+            )
+        if pos + 1 > len(body):
+            raise WireError(
+                "response truncated before the error category",
+                offset=len(body),
+                category=CATEGORY_TRUNCATED,
+                request_id=request_id,
+            )
+        category_len = body[pos]
+        pos += 1
+        category = body[pos : pos + category_len].decode("utf-8")
+        pos += category_len
+        (message_len,) = struct.unpack_from(">H", body, pos)
+        pos += 2
+        message = body[pos : pos + message_len].decode("utf-8")
+        return Response(
+            op=op, status=status, request_id=request_id,
+            category=category, message=message,
+        )
+
+
+# -- stream framing ----------------------------------------------------------
+
+def pack_message(body: bytes) -> bytes:
+    """Frame a body for the wire: RF01 container plus length prefix."""
+    frame = wrap_frame(body)
+    return _LENGTH.pack(len(frame)) + frame
+
+
+async def read_message(
+    reader: "asyncio.StreamReader",
+    max_message: int = DEFAULT_MAX_MESSAGE,
+) -> Optional[bytes]:
+    """Read one framed message body from an asyncio stream.
+
+    Returns ``None`` on a clean EOF (the peer closed between messages).
+    Every defect raises a *fatal* :class:`WireError`: a truncated read,
+    an implausible length, or a frame that fails its CRC all mean the
+    stream position can no longer be trusted.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError(
+            "connection closed inside a length prefix",
+            offset=len(error.partial),
+            category=CATEGORY_TRUNCATED,
+            fatal=True,
+        ) from error
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_message:
+        raise WireError(
+            f"declared message length {length} exceeds the "
+            f"{max_message}-byte limit",
+            offset=0,
+            category=CATEGORY_BUDGET,
+            fatal=True,
+        )
+    if length < FRAME_OVERHEAD:
+        raise WireError(
+            f"declared message length {length} is shorter than a frame "
+            f"({FRAME_OVERHEAD} bytes)",
+            offset=0,
+            fatal=True,
+        )
+    try:
+        frame = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise WireError(
+            f"connection closed {len(error.partial)} bytes into a "
+            f"{length}-byte message",
+            offset=len(error.partial),
+            category=CATEGORY_TRUNCATED,
+            fatal=True,
+        ) from error
+    try:
+        return unwrap_frame(frame)
+    except CorruptedStreamError as error:
+        raise WireError(
+            f"bad message frame: {error}",
+            offset=error.offset,
+            category=error.category,
+            fatal=True,
+        ) from error
+
+
+__all__ = [
+    "DEFAULT_MAX_MESSAGE",
+    "DEFAULT_PORT",
+    "OPS",
+    "OP_COMPRESS",
+    "OP_DECOMPRESS",
+    "OP_HEALTH",
+    "OP_NAMES",
+    "OP_STATS",
+    "Request",
+    "Response",
+    "STATUS_BUSY",
+    "STATUS_ERROR",
+    "STATUS_NAMES",
+    "STATUS_OK",
+    "WireError",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "error_response",
+    "pack_message",
+    "read_message",
+]

@@ -1,0 +1,484 @@
+"""The asyncio codec daemon (``python -m repro serve``).
+
+One process, three layers:
+
+* **Connections** — an asyncio stream server.  Each connection runs a
+  read loop over the length-prefixed RF01 protocol
+  (:mod:`repro.service.protocol`); ``health`` and ``stats`` are answered
+  inline (they must stay responsive under load), codec work is enqueued.
+  Every defect in a wire message is answered with a *structured error
+  reply* — a connection is never dropped silently, and a desynchronised
+  stream gets one last error frame before the close.
+* **The queue** — a single bounded :class:`asyncio.Queue` between the
+  connections and the executor.  Backpressure is explicit: when the
+  queue is full (or a connection exceeds its in-flight limit) the server
+  replies ``busy`` immediately instead of buffering without bound —
+  clients see saturation as a signal, not as latency collapse.
+* **Dispatchers + executor** — dispatcher tasks drain the queue in
+  batches (up to ``batch_max`` requests per drain, the unit of work
+  ROADMAP item 2's vectorised engine will accelerate) and fan each batch
+  across a thread pool.  Codec work happens in threads; the event loop
+  only moves bytes.
+
+Telemetry flows through :mod:`repro.obs`: request counters, queue-depth
+gauges, batch-size and per-op latency histograms (microseconds, fixed
+exponential buckets), all surfaced by the ``stats`` op as JSON with
+p50/p99 derived via :func:`repro.obs.metrics.histogram_quantile`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import Recorder, get_recorder, set_recorder
+from repro.obs.clock import monotonic_ns
+from repro.obs.metrics import summarize_histogram
+from repro.resilience.errors import CorruptedStreamError
+from repro.service import protocol
+from repro.service.codecs import build_codecs
+from repro.service.protocol import (
+    OP_COMPRESS,
+    OP_DECOMPRESS,
+    OP_HEALTH,
+    OP_NAMES,
+    OP_STATS,
+    Request,
+    Response,
+    STATUS_BUSY,
+    STATUS_OK,
+    WireError,
+    error_response,
+)
+from repro.service.registry import WarmModelRegistry
+
+#: ``stats`` response document schema version.
+SERVICE_STATS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = protocol.DEFAULT_PORT
+    #: Bounded request queue; a full queue answers ``busy``.
+    queue_size: int = 256
+    #: Requests drained per dispatch (the service's unit of work).
+    batch_max: int = 8
+    #: Concurrent dispatcher tasks (batches in flight).
+    dispatchers: int = 2
+    #: Executor threads running codec work.
+    workers: int = 4
+    #: Per-connection in-flight request cap.
+    max_inflight: int = 64
+    #: Largest accepted wire message.
+    max_message: int = protocol.DEFAULT_MAX_MESSAGE
+    #: Warm-model registry bound.
+    registry_entries: int = 32
+
+
+class _Connection:
+    """Per-connection state: writer lock and in-flight accounting."""
+
+    __slots__ = ("reader", "writer", "lock", "inflight", "idle")
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.inflight = 0
+        self.idle = asyncio.Event()
+        self.idle.set()
+
+
+@dataclass
+class _WorkItem:
+    conn: _Connection
+    request: Request
+    accepted_ns: int
+
+
+class CodecService:
+    """The daemon.  ``await start()`` binds; ``await stop()`` tears down."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[WarmModelRegistry] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or WarmModelRegistry(
+            self.config.registry_entries
+        )
+        self.codecs = build_codecs(self.registry)
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._dispatchers: List[asyncio.Task] = []
+        self._started_ns = 0
+        self._previous_recorder = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        # A daemon without telemetry cannot answer `stats`; install a
+        # live recorder unless the caller already runs one.
+        if not get_recorder().enabled:
+            self._previous_recorder = set_recorder(Recorder())
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._dispatchers = [
+            asyncio.ensure_future(self._dispatch_loop())
+            for _ in range(self.config.dispatchers)
+        ]
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        self._started_ns = monotonic_ns()
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._dispatchers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._previous_recorder is not None:
+            set_recorder(self._previous_recorder)
+            self._previous_recorder = None
+
+    # -- connection handling -------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        conn = _Connection(reader, writer)
+        rec = get_recorder()
+        rec.count("service.connections")
+        try:
+            while True:
+                try:
+                    body = await protocol.read_message(
+                        reader, self.config.max_message
+                    )
+                except WireError as error:
+                    rec.count("service.wire_errors")
+                    await self._send(conn, error_response(
+                        0, error.request_id, error.category, str(error)
+                    ))
+                    # fatal == stream desync: reply-then-close is the
+                    # contract (never disconnect without a reply).
+                    break
+                if body is None:  # clean EOF between messages
+                    break
+                started = monotonic_ns()
+                try:
+                    request = protocol.decode_request(body)
+                except CorruptedStreamError as error:
+                    # The frame was intact, so the stream is still
+                    # synced: reply and keep serving this connection.
+                    rec.count("service.bad_requests")
+                    await self._send(conn, error_response(
+                        0,
+                        getattr(error, "request_id", 0),
+                        error.category,
+                        str(error),
+                    ))
+                    continue
+                rec.count("service.bytes_in", len(body))
+                await self._dispatch(conn, request, started)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            # EOF on the read side does not mean the conversation is
+            # over: accepted requests may still be in the queue or on
+            # executor threads.  Closing now would disconnect without a
+            # reply — the one thing the wire contract forbids — so wait
+            # for the connection's in-flight count to drain first.
+            if conn.inflight:
+                try:
+                    await asyncio.wait_for(conn.idle.wait(), timeout=60)
+                except asyncio.TimeoutError:
+                    pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, conn: _Connection, request: Request, started: int
+    ) -> None:
+        rec = get_recorder()
+        rec.count(f"service.requests.{OP_NAMES[request.op]}")
+        if request.op == OP_HEALTH:
+            await self._send(conn, Response(
+                op=OP_HEALTH, status=STATUS_OK,
+                request_id=request.request_id,
+                payload=json.dumps({"status": "ok"}).encode(),
+            ))
+            self._observe_latency("health", started)
+            return
+        if request.op == OP_STATS:
+            await self._send(conn, Response(
+                op=OP_STATS, status=STATUS_OK,
+                request_id=request.request_id,
+                payload=json.dumps(
+                    self.stats_document(), sort_keys=True
+                ).encode(),
+            ))
+            self._observe_latency("stats", started)
+            return
+        if conn.inflight >= self.config.max_inflight:
+            rec.count("service.busy.connection")
+            await self._send(conn, error_response(
+                request.op, request.request_id, "busy",
+                f"connection exceeds {self.config.max_inflight} "
+                "in-flight requests",
+                status=STATUS_BUSY,
+            ))
+            return
+        item = _WorkItem(conn=conn, request=request, accepted_ns=started)
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            rec.count("service.busy.queue")
+            await self._send(conn, error_response(
+                request.op, request.request_id, "busy",
+                f"request queue is full ({self.config.queue_size})",
+                status=STATUS_BUSY,
+            ))
+            return
+        conn.inflight += 1
+        conn.idle.clear()
+        rec.gauge("service.queue_depth", self._queue.qsize())
+
+    # -- dispatch + execution ------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_event_loop()
+        rec = get_recorder()
+        while True:
+            item = await self._queue.get()
+            batch = [item]
+            while len(batch) < self.config.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            rec.observe("service.batch_size", len(batch))
+            rec.count("service.batches")
+            futures = [
+                loop.run_in_executor(self._pool, self._execute, it.request)
+                for it in batch
+            ]
+            responses = await asyncio.gather(*futures, return_exceptions=True)
+            for it, response in zip(batch, responses):
+                if isinstance(response, BaseException):
+                    # _execute converts exceptions itself; this is the
+                    # belt-and-braces path for executor failures.
+                    rec.count("service.internal_errors")
+                    response = error_response(
+                        it.request.op, it.request.request_id, "internal",
+                        f"{type(response).__name__}: {response}",
+                    )
+                self._observe_latency(
+                    OP_NAMES[it.request.op], it.accepted_ns
+                )
+                await self._send(it.conn, response)
+                # Decrement only after the reply went out: the reader
+                # side waits on `idle` before closing the writer, and
+                # an early decrement would let the close race the send.
+                it.conn.inflight -= 1
+                if it.conn.inflight == 0:
+                    it.conn.idle.set()
+
+    def _execute(self, request: Request) -> Response:
+        """Run one codec request (executor thread).  Never raises."""
+        rec = get_recorder()
+        codec = self.codecs.get(request.codec)
+        if codec is None:
+            return error_response(
+                request.op, request.request_id, "invalid",
+                f"unknown codec {request.codec!r} "
+                f"(have: {', '.join(sorted(self.codecs))})",
+            )
+        rec.count(f"service.codec.{request.codec}")
+        try:
+            if request.op == OP_COMPRESS:
+                out = codec.compress(request.payload)
+            else:
+                out = codec.decompress(request.payload)
+        except CorruptedStreamError as error:
+            rec.count("service.request_errors")
+            return error_response(
+                request.op, request.request_id, error.category, str(error)
+            )
+        except (ValueError, KeyError, NotImplementedError) as error:
+            rec.count("service.request_errors")
+            return error_response(
+                request.op, request.request_id, "invalid", str(error)
+            )
+        except Exception as error:  # the wire contract: never leak
+            rec.count("service.internal_errors")
+            return error_response(
+                request.op, request.request_id, "internal",
+                f"{type(error).__name__}: {error}",
+            )
+        return Response(
+            op=request.op, status=STATUS_OK,
+            request_id=request.request_id, payload=out,
+        )
+
+    # -- replies and telemetry -----------------------------------------
+
+    async def _send(self, conn: _Connection, response: Response) -> None:
+        rec = get_recorder()
+        data = protocol.pack_message(protocol.encode_response(response))
+        rec.count("service.bytes_out", len(data))
+        rec.count(f"service.replies.{protocol.STATUS_NAMES[response.status]}")
+        try:
+            async with conn.lock:
+                conn.writer.write(data)
+                await conn.writer.drain()
+        except (ConnectionError, OSError):
+            rec.count("service.dropped_replies")
+
+    def _observe_latency(self, op_name: str, started_ns: int) -> None:
+        get_recorder().observe(
+            f"service.latency_us.{op_name}",
+            (monotonic_ns() - started_ns) // 1000,
+        )
+
+    def stats_document(self) -> Dict[str, object]:
+        """The ``stats`` op's JSON document (stable schema, version 1)."""
+        snapshot = get_recorder().snapshot()
+        counters = {
+            name: value
+            for name, value in sorted(snapshot["counters"].items())
+            if name.startswith("service.")
+        }
+        latency = {}
+        for op_name in OP_NAMES.values():
+            cell = snapshot["histograms"].get(f"service.latency_us.{op_name}")
+            if cell is not None:
+                latency[op_name] = summarize_histogram(cell)
+        batch = snapshot["histograms"].get("service.batch_size")
+        return {
+            "schema_version": SERVICE_STATS_VERSION,
+            "uptime_seconds": (monotonic_ns() - self._started_ns) / 1e9,
+            "codecs": sorted(self.codecs),
+            "counters": counters,
+            "latency_us": latency,
+            "batch": summarize_histogram(batch) if batch else None,
+            "queue": {
+                "capacity": self.config.queue_size,
+                "depth": self._queue.qsize() if self._queue else 0,
+                "depth_highwater": snapshot["gauges"].get(
+                    "service.queue_depth", 0
+                ),
+            },
+            "registry": self.registry.stats(),
+        }
+
+
+# -- in-process harness ------------------------------------------------------
+
+class ServerThread:
+    """A daemon on a background thread — the in-process test harness.
+
+    Runs a :class:`CodecService` inside its own event loop on its own
+    thread, binding an ephemeral port by default.  Used by the service
+    test fixtures, the protocol fuzzer's self-hosted mode, and the
+    loadgen's ``--spawn`` convenience::
+
+        with ServerThread() as (host, port):
+            client = ServiceClient(host, port)
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig(port=0)
+        self.service: Optional[CodecService] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start in 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error}"
+            )
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception as error:  # surfaced via start()
+            self._startup_error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_event_loop()
+        self._stop_event = asyncio.Event()
+        self.service = CodecService(self.config)
+        try:
+            self.address = await self.service.start()
+            self._ready.set()
+            await self._stop_event.wait()
+        finally:
+            await self.service.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = [
+    "CodecService",
+    "SERVICE_STATS_VERSION",
+    "ServerThread",
+    "ServiceConfig",
+]

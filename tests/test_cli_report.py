@@ -1,0 +1,106 @@
+"""The shared CLI reporting contract: tables, JSON, failure exits.
+
+Every report-style subcommand (``stats``, ``fuzz``, ``loadgen``,
+``bench-diff``, ``check``) routes its output through
+:mod:`repro.cli_report`; these tests pin that shared surface — the
+table shape, the ``stats`` JSON schema, and the rule that a failing
+report never exits 0.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import main
+from repro.cli_report import format_table, report_failures
+from repro.obs.render import STATS_SCHEMA_VERSION, stats_document
+
+
+class TestFormatTable:
+    def test_columns_align(self):
+        text = format_table([("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0] == "  a       1"
+        assert lines[1] == "  longer  22"
+
+    def test_headers_get_a_rule(self):
+        text = format_table(
+            [("x", 10)], headers=("name", "value")
+        )
+        lines = text.splitlines()
+        assert lines[0] == "  name  value"
+        assert lines[1] == "  ----  -----"
+        assert lines[2] == "  x     10"
+
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_no_trailing_whitespace(self):
+        text = format_table([("a", ""), ("bb", "c")])
+        assert all(line == line.rstrip() for line in text.splitlines())
+
+
+class TestReportFailures:
+    def test_zero_is_silent_success(self):
+        stream = io.StringIO()
+        assert report_failures(0, "nope", stream=stream) == 0
+        assert stream.getvalue() == ""
+
+    def test_nonzero_prints_and_fails(self):
+        stream = io.StringIO()
+        assert report_failures(3, "3 things broke", stream=stream) == 1
+        assert "3 things broke" in stream.getvalue()
+
+
+class TestStatsJsonSchema:
+    """The ``repro stats --format json`` document is a stable contract."""
+
+    ARGS = ["stats", "--scale", "0.15", "--algorithms", "huffman",
+            "--benchmarks", "compress", "--format", "json"]
+
+    def test_top_level_keys_pinned(self, capsys):
+        assert main(self.ARGS) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) == {
+            "schema_version", "benchmarks", "counters", "gauges",
+            "histograms", "spans",
+        }
+        assert document["schema_version"] == STATS_SCHEMA_VERSION == 1
+
+    def test_document_builder_matches_cli(self):
+        # The CLI emits exactly stats_document(snapshot) — same keys
+        # even on an empty snapshot.
+        document = stats_document({})
+        assert set(document) == {
+            "schema_version", "benchmarks", "counters", "gauges",
+            "histograms", "spans",
+        }
+
+
+class TestFuzzExitPaths:
+    """Both fuzz targets share the cli_report exit/format contract."""
+
+    def test_decoders_json(self, capsys):
+        assert main(["fuzz", "--iters", "5", "--seed", "11",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["target"] == "decoders"
+        assert document["iterations"] == 5
+        assert document["ok"] is True
+        assert set(document) >= {
+            "seed", "detected", "roundtrips", "failures", "timeouts",
+        }
+
+    def test_service_json(self, capsys):
+        assert main(["fuzz", "--target", "service", "--iters", "10",
+                     "--seed", "11", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["target"] == "service"
+        assert document["iterations"] == 10
+        assert document["ok"] is True
+        assert set(document) >= {"seed", "rejected", "hangs", "failures"}
+
+    def test_text_mode_still_prints_verdict(self, capsys):
+        assert main(["fuzz", "--iters", "3", "--seed", "11"]) == 0
+        assert "fuzz: PASS" in capsys.readouterr().out

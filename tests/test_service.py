@@ -1,0 +1,275 @@
+"""Service-level tests: the daemon, the wire contract, backpressure.
+
+Everything runs against a real server — :class:`ServerThread` on an
+ephemeral port — talking through real sockets, because the properties
+under test (framing, interleaving, reply-before-close, busy signalling)
+only exist on the wire.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.resilience.frame import wrap_frame
+from repro.service import (
+    STATUS_BUSY,
+    STATUS_ERROR,
+    STATUS_OK,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+from repro.service.client import recv_response
+from repro.service.protocol import (
+    OP_COMPRESS,
+    Request,
+    encode_request,
+    pack_message,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One daemon shared by the module; yields its (host, port)."""
+    with ServerThread(ServiceConfig(port=0)) as address:
+        yield address
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(*service) as c:
+        yield c
+
+
+class TestRoundTrips:
+    """Every wire codec round-trips through a real socket."""
+
+    @pytest.mark.parametrize("codec", [
+        "samc-mips", "sadc-mips", "samc-bytes",
+        "byte-huffman", "lzw", "gzipish",
+    ])
+    def test_mips_payload(self, client, codec, mips_program):
+        blob = client.compress(codec, mips_program)
+        assert client.decompress(codec, blob) == mips_program
+
+    def test_sadc_x86(self, client, x86_program):
+        blob = client.compress("sadc-x86", x86_program)
+        assert client.decompress("sadc-x86", blob) == x86_program
+
+    def test_image_codec_output_is_an_archive(self, client, mips_program):
+        # The service serves the on-ROM serialisation, not an ad-hoc one.
+        blob = client.compress("samc-bytes", mips_program)
+        from repro.core import decompress_image
+        from repro.core.serialize import deserialize_image
+
+        assert decompress_image(deserialize_image(blob)) == mips_program
+
+    def test_health(self, client):
+        assert client.health() == {"status": "ok"}
+
+    def test_stats_schema(self, client, mips_program):
+        client.compress("gzipish", mips_program)
+        doc = client.stats()
+        assert set(doc) == {
+            "schema_version", "uptime_seconds", "codecs", "counters",
+            "latency_us", "batch", "queue", "registry",
+        }
+        assert doc["schema_version"] == 1
+        assert "gzipish" in doc["codecs"]
+        assert doc["counters"]["service.requests.compress"] >= 1
+        cell = doc["latency_us"]["compress"]
+        assert set(cell) == {"count", "mean", "p50", "p95", "p99"}
+        assert 0 < cell["p50"] <= cell["p99"]
+        assert doc["queue"]["capacity"] == 256
+        assert doc["registry"]["max_entries"] == 32
+
+
+class TestErrors:
+    """Malformed input earns a structured reply — never silence."""
+
+    def test_unknown_codec(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.compress("brotli", b"data")
+        assert info.value.category == "invalid"
+        assert "brotli" in str(info.value)
+        # The connection survives a body-level error.
+        assert client.health() == {"status": "ok"}
+
+    def test_invalid_compress_input(self, client):
+        # samc-mips requires word-aligned code; 3 bytes is not.
+        with pytest.raises(ServiceError) as info:
+            client.compress("samc-mips", b"\x01\x02\x03")
+        assert info.value.status == STATUS_ERROR
+        assert client.health() == {"status": "ok"}
+
+    def test_corrupted_archive_decompress(self, client, mips_program):
+        # Truncation is always detectable (unlike a mid-stream bit
+        # flip, which an unframed archive may decode to wrong bytes).
+        blob = client.compress("samc-bytes", mips_program)
+        with pytest.raises(ServiceError) as info:
+            client.decompress("samc-bytes", blob[: len(blob) // 2])
+        assert info.value.status == STATUS_ERROR
+        assert info.value.category != "internal"  # no leaked exception
+
+    def _raw(self, service, data):
+        """Send raw bytes, half-close, read one reply."""
+        sock = socket.create_connection(service, timeout=10)
+        try:
+            sock.sendall(data)
+            sock.shutdown(socket.SHUT_WR)
+            return recv_response(sock)
+        finally:
+            sock.close()
+
+    def test_garbage_bytes(self, service):
+        response = self._raw(service, b"\xde\xad\xbe\xef" * 8)
+        assert response.status == STATUS_ERROR
+
+    def test_truncated_message(self, service):
+        message = pack_message(encode_request(Request(
+            op=OP_COMPRESS, request_id=9, codec="gzipish", payload=b"abc",
+        )))
+        response = self._raw(service, message[:-5])
+        assert response.status == STATUS_ERROR
+        assert response.category == "truncated"
+
+    def test_oversized_length(self, service):
+        response = self._raw(service, struct.pack(">I", 1 << 31) + b"\x00" * 8)
+        assert response.status == STATUS_ERROR
+
+    def test_bad_crc(self, service):
+        message = bytearray(pack_message(encode_request(Request(
+            op=OP_COMPRESS, request_id=9, codec="gzipish", payload=b"abc",
+        ))))
+        message[-1] ^= 0x01
+        response = self._raw(service, bytes(message))
+        assert response.status == STATUS_ERROR
+        assert response.category == "checksum"
+
+    def test_unknown_op(self, service):
+        body = bytearray(encode_request(Request(
+            op=OP_COMPRESS, request_id=9, codec="gzipish", payload=b"x",
+        )))
+        body[0] = 99
+        response = self._raw(service, pack_message(bytes(body)))
+        assert response.status == STATUS_ERROR
+        assert response.category == "structure"
+
+    def test_valid_frame_wrong_body(self, service):
+        # A perfectly framed message whose body is not a request.
+        data = struct.pack(">I", 14 + 3) + wrap_frame(b"zzz")
+        response = self._raw(service, data)
+        assert response.status == STATUS_ERROR
+
+
+class TestConcurrency:
+    """Interleaved clients each get their own answers."""
+
+    def test_concurrent_clients(self, service, mips_program):
+        errors = []
+
+        def hammer(index: int) -> None:
+            payload = mips_program[: 256 + 4 * index]
+            try:
+                with ServiceClient(*service) as c:
+                    for _ in range(5):
+                        blob = c.compress("gzipish", payload)
+                        assert c.decompress("gzipish", blob) == payload
+            except Exception as error:  # collected, not swallowed
+                errors.append(f"client {index}: {error!r}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+    def test_pipelined_requests_one_connection(self, service):
+        # Many requests written before any reply is read; every reply
+        # must come back, matched by request id.
+        sock = socket.create_connection(service, timeout=30)
+        try:
+            ids = list(range(1, 11))
+            for request_id in ids:
+                sock.sendall(pack_message(encode_request(Request(
+                    op=OP_COMPRESS, request_id=request_id,
+                    codec="gzipish", payload=b"payload-%d" % request_id,
+                ))))
+            seen = sorted(
+                recv_response(sock).request_id for _ in ids
+            )
+            assert seen == ids
+        finally:
+            sock.close()
+
+
+class TestBackpressure:
+    """An overloaded server says `busy` instead of queueing unboundedly."""
+
+    def test_inflight_cap_answers_busy(self, mips_program):
+        config = ServiceConfig(port=0, max_inflight=1, workers=1)
+        with ServerThread(config) as address:
+            sock = socket.create_connection(address, timeout=30)
+            try:
+                # Pipeline many slow requests (each trains a distinct
+                # SAMC model) so the first is still in flight when the
+                # rest are read.
+                count = 8
+                for index in range(count):
+                    payload = bytes([index]) * 4 + mips_program[:1024]
+                    sock.sendall(pack_message(encode_request(Request(
+                        op=OP_COMPRESS, request_id=index + 1,
+                        codec="samc-bytes", payload=payload,
+                    ))))
+                statuses = [recv_response(sock).status for _ in range(count)]
+            finally:
+                sock.close()
+            # Every request was answered; the cap turned the excess
+            # into explicit busy replies, not silence.
+            assert len(statuses) == count
+            assert set(statuses) <= {STATUS_OK, STATUS_BUSY}
+            assert STATUS_BUSY in statuses
+            assert STATUS_OK in statuses
+
+    def test_busy_reply_carries_category(self):
+        config = ServiceConfig(port=0, max_inflight=1, workers=1)
+        with ServerThread(config) as address:
+            sock = socket.create_connection(address, timeout=30)
+            try:
+                for request_id in (1, 2, 3, 4):
+                    sock.sendall(pack_message(encode_request(Request(
+                        op=OP_COMPRESS, request_id=request_id,
+                        codec="samc-bytes", payload=bytes(range(256)) * 8,
+                    ))))
+                responses = [recv_response(sock) for _ in range(4)]
+            finally:
+                sock.close()
+            busy = [r for r in responses if r.status == STATUS_BUSY]
+            assert busy
+            assert all(r.category == "busy" for r in busy)
+
+
+class TestReplyBeforeClose:
+    def test_half_close_still_gets_reply(self, service, mips_program):
+        # The client sends one request and immediately half-closes; the
+        # server must still deliver the computed reply.
+        sock = socket.create_connection(service, timeout=30)
+        try:
+            sock.sendall(pack_message(encode_request(Request(
+                op=OP_COMPRESS, request_id=42,
+                codec="samc-bytes", payload=mips_program[:1024],
+            ))))
+            sock.shutdown(socket.SHUT_WR)
+            response = recv_response(sock)
+            assert response.status == STATUS_OK
+            assert response.request_id == 42
+        finally:
+            sock.close()

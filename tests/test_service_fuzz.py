@@ -1,0 +1,76 @@
+"""Protocol-fuzz smoke: 200 seeded malformed requests, zero violations.
+
+This is the service twin of ``test_resilience_fuzz``: it drives the
+seeded wire mutator of :mod:`repro.service.fuzz` at a self-hosted
+daemon and asserts the service contract held for every iteration —
+no hangs, no silent disconnects, no success-for-garbage, no leaked
+``internal`` exceptions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.service.fuzz import (
+    CASES,
+    EXPECT_ERROR,
+    ServiceFuzzReport,
+    run_service_fuzz,
+)
+
+
+class TestCaseTable:
+    def test_cases_are_deterministic(self):
+        for name, case, _expect in CASES:
+            assert case(random.Random(5)) == case(random.Random(5)), name
+
+    def test_covers_frame_and_body_defects(self):
+        names = {name for name, _case, _expect in CASES}
+        # Frame-level (stream desync) and body-level (intact frame)
+        # defects are different server paths; both must be exercised.
+        assert {"garbage", "truncated", "bad-crc", "oversized"} <= names
+        assert {"unknown-op", "unknown-codec", "invalid-compress"} <= names
+        assert "valid-probe" in names  # rejects-everything must fail
+
+
+class TestSmoke:
+    def test_200_iterations_clean(self):
+        report = run_service_fuzz(seed=1998, iters=200)
+        assert report.ok, "\n".join(report.format_lines())
+        assert report.iterations == 200
+        assert report.hangs == 0
+        # The seeded mix must actually exercise both outcomes.
+        assert sum(report.rejected.values()) > 0
+        assert report.ok_probes > 0
+        # Rejections arrive across several defect categories.
+        assert len(report.rejected) >= 3
+
+    def test_report_round_trips_to_json(self):
+        import json
+
+        report = run_service_fuzz(seed=3, iters=25)
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["target"] == "service"
+        assert doc["iterations"] == 25
+        assert doc["ok"] is report.ok
+
+
+class TestReportAccounting:
+    def test_failure_count_includes_hangs(self):
+        report = ServiceFuzzReport(seed=0)
+        assert report.ok
+        report.hangs = 1
+        assert not report.ok
+        assert report.failure_count == 1
+        report.failures.append("iter 0 garbage: no reply")
+        assert report.failure_count == 2
+
+    def test_format_lines_lists_failures(self):
+        report = ServiceFuzzReport(seed=9)
+        report.failures.append("iter 3 bad-crc: answered with success")
+        lines = report.format_lines()
+        assert any("FAILURE" in line for line in lines)
+
+    def test_expect_error_is_default_contract(self):
+        expectations = [expect for _n, _c, expect in CASES]
+        assert expectations.count(EXPECT_ERROR) == len(CASES) - 1
