@@ -68,6 +68,46 @@ def test_samc_decode_identity(monkeypatch, code):
     assert b"".join(fast) == code
 
 
+def test_samc_batch_decode_identity(monkeypatch, code):
+    """The full-image batch decode equals the per-block loop on both
+    paths — with the vector threshold forced down so the lockstep
+    kernel itself runs, not the small-batch scalar fallback."""
+    image = SamcCodec.for_mips().compress(code)
+    monkeypatch.setenv("REPRO_BATCH_MIN", "1")
+
+    def decode_batch():
+        codec = SamcCodec.for_mips()
+        return codec.decompress_blocks(image, range(image.block_count()))
+
+    reference, fast = _both_paths(monkeypatch, decode_batch)
+    assert reference == fast
+    assert b"".join(fast) == code
+
+
+def test_byte_huffman_batch_decode_identity(monkeypatch, code):
+    from repro.baselines.byte_huffman import ByteHuffmanCodec
+
+    image = ByteHuffmanCodec().compress(code)
+
+    def decode_batch():
+        codec = ByteHuffmanCodec()
+        return codec.decompress_blocks(image, range(image.block_count()))
+
+    reference, fast = _both_paths(monkeypatch, decode_batch)
+    assert reference == fast
+    assert b"".join(fast) == code
+
+
+def test_samc_batch_encode_identity(monkeypatch, code):
+    """Vectorised batch encode emits the scalar encoder's exact blocks."""
+    image = SamcCodec.for_mips().compress(code)
+    model = image.metadata["model"]
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_BATCH_MIN", "1")
+    vec = SamcCodec.for_mips().compress_with_model(code, model)
+    assert vec.blocks == image.blocks
+
+
 def test_lzss_tokenize_identity(monkeypatch, code):
     reference, fast = _both_paths(monkeypatch, lambda: tokenize(code))
     assert reference == fast

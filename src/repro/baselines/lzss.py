@@ -65,6 +65,24 @@ def tokenize(data: bytes) -> List[Token]:
     return tokens
 
 
+def tokenize_blocks(blocks) -> List[List[Token]]:
+    """Greedy-parse a batch of independent blocks.
+
+    Reference semantics are ``[tokenize(b) for b in blocks]`` — that is
+    the ``REPRO_FASTPATH=0`` path.  With the fastpath on, the batch goes
+    to :func:`repro.fastpath.lz_kernel.tokenize_blocks_fast`, which
+    precomputes every block's hash-chain keys in one vectorised pass and
+    parses repeated blocks once; the token streams are identical either
+    way.
+    """
+    blocks = [bytes(block) for block in blocks]
+    if blocks and fastpath_enabled():
+        from repro.fastpath.lz_kernel import tokenize_blocks_fast
+
+        return tokenize_blocks_fast(blocks)
+    return [tokenize(block) for block in blocks]
+
+
 def _tokenize_reference(data: bytes) -> List[Token]:
     """The clarity-first parse the fastpath kernel is pinned against."""
     tokens: List[Token] = []

@@ -59,6 +59,22 @@ def lzw_compress(data: bytes) -> bytes:
     return out
 
 
+def lzw_compress_blocks(blocks) -> List[bytes]:
+    """Compress a batch of independent blocks.
+
+    Reference semantics are ``[lzw_compress(b) for b in blocks]`` (the
+    ``REPRO_FASTPATH=0`` path); the fastpath batch kernel compresses
+    each distinct block once and replays repeats.  Byte-identical either
+    way.
+    """
+    blocks = [bytes(block) for block in blocks]
+    if blocks and fastpath_enabled():
+        from repro.fastpath.lz_kernel import lzw_compress_blocks_fast
+
+        return lzw_compress_blocks_fast(blocks)
+    return [lzw_compress(block) for block in blocks]
+
+
 def _lzw_compress_reference(data: bytes) -> bytes:
     """The string-keyed parse the fastpath kernel is pinned against."""
     writer = BitWriter()

@@ -280,7 +280,10 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     (default 15%).  Exit status 1 when any benchmark regressed — or when
     a benchmark in the baseline is missing from the candidate snapshot
     (a silently dropped benchmark must not read as a pass); benchmarks
-    only in the candidate are new and merely reported.
+    only in the candidate are new and merely reported, and a whole
+    benchmark *group* present only in the candidate is reported as a
+    new group (exit 0) — adding a benchmark group must never fail the
+    gate.  ``--group`` restricts the comparison to one group.
     """
     import json
 
@@ -290,9 +293,27 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
         new = json.load(handle)
     old_results = old.get("results", {})
     new_results = new.get("results", {})
+    if args.group is not None:
+        old_results = {
+            name: entry for name, entry in old_results.items()
+            if entry.get("group") == args.group
+        }
+        new_results = {
+            name: entry for name, entry in new_results.items()
+            if entry.get("group") == args.group
+        }
     regressions = []
     missing = []
     lines = []
+    old_groups = {e.get("group") for e in old_results.values()}
+    new_groups = {e.get("group") for e in new_results.values()}
+    for group in sorted(g for g in new_groups - old_groups if g):
+        count = sum(
+            1 for e in new_results.values() if e.get("group") == group
+        )
+        lines.append(
+            f"group {group!r}: new in {args.new} ({count} benchmark(s))"
+        )
     for name in sorted(set(old_results) & set(new_results)):
         before, after = old_results[name], new_results[name]
         if "ns_per_byte" in before and "ns_per_byte" in after:
@@ -597,6 +618,9 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="FRACTION",
                             help="relative slowdown that counts as a "
                                  "regression (default 0.15 = 15%%)")
+    bench_diff.add_argument("--group", default=None, metavar="NAME",
+                            help="compare only benchmarks in this harness "
+                                 "group (e.g. throughput-batch)")
     bench_diff.set_defaults(func=_cmd_bench_diff)
 
     check = sub.add_parser(
@@ -646,7 +670,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-size", type=int, default=256,
                        help="bounded request queue; full answers `busy`")
     serve.add_argument("--batch-max", type=int, default=8,
-                       help="requests drained per dispatch batch")
+                       help="requests drained per dispatch batch — also "
+                            "the ceiling on one vectorised request "
+                            "group, since grouping happens within a "
+                            "drain")
     serve.add_argument("--workers", type=int, default=4,
                        help="executor threads running codec work")
     serve.add_argument("--max-inflight", type=int, default=64,

@@ -477,9 +477,34 @@ class MipsSadcCodec:
 
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(
-            self.decompress_block(image, index)
-            for index in range(image.block_count())
+            self.decompress_blocks(image, range(image.block_count()))
         )
+
+    def decompress_blocks(
+        self, image: CompressedImage, indices
+    ) -> List[bytes]:
+        """Random-access expansion of a batch of cache blocks.
+
+        Identical output to the per-block loop; the batch form builds
+        the stream Huffman decoders once for the whole batch instead of
+        once per block (they are read-only during decode, so sharing is
+        safe).
+        """
+        indices = list(indices)
+        if not indices:
+            return []
+        dictionary: Dictionary = image.metadata["dictionary"]
+        codes: Dict[str, HuffmanCode] = image.metadata["codes"]
+        decoders = {name: HuffmanDecoder(code) for name, code in codes.items()}
+        out: List[bytes] = []
+        for block_index in indices:
+            expected = self._original_block_bytes(image, block_index) // 4
+            with decode_guard("sadc.mips.decompress_block"):
+                reader = BitReader(block_payload(image, block_index), pad=False)
+                out.append(self._decode_words(
+                    reader, dictionary, decoders, expected, block_index
+                ))
+        return out
 
     def decompress_block(self, image: CompressedImage, block_index: int) -> bytes:
         """Random-access expansion of one cache block."""

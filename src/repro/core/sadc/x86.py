@@ -326,9 +326,18 @@ class X86SadcCodec:
 
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(
-            self.decompress_block(image, index)
-            for index in range(image.block_count())
+            self.decompress_blocks(image, range(image.block_count()))
         )
+
+    def decompress_blocks(
+        self, image: CompressedImage, indices
+    ) -> List[bytes]:
+        """Batch form of :meth:`decompress_block` (uniform batch API).
+
+        x86 reassembly is grammar-driven and has no vectorised kernel;
+        the batch is simply the per-block loop.
+        """
+        return [self.decompress_block(image, index) for index in indices]
 
     def decompress_block(self, image: CompressedImage, block_index: int) -> bytes:
         """Expand one block back into instruction bytes.

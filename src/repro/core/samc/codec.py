@@ -276,9 +276,52 @@ class SamcCodec:
     def decompress(self, image: CompressedImage) -> bytes:
         """Decompress a full image (all blocks, in order)."""
         return b"".join(
-            self.decompress_block(image, index)
-            for index in range(image.block_count())
+            self.decompress_blocks(image, range(image.block_count()))
         )
+
+    def decompress_blocks(
+        self, image: CompressedImage, indices: Sequence[int]
+    ) -> List[bytes]:
+        """Random-access decompression of a batch of cache blocks.
+
+        The reference semantics are exactly the per-block loop —
+        ``[decompress_block(image, i) for i in indices]`` — and that is
+        what runs with the fastpath disabled.  Under ``REPRO_FASTPATH``
+        the whole batch goes to the compiled kernel's
+        :meth:`~repro.fastpath.samc_kernel.CompiledSamcModel.decode_blocks`,
+        which runs the range decoder in lockstep across the batch (or
+        falls back to the fused scalar loop below its batch threshold);
+        output is byte-identical either way.  This is the refill
+        engine's miss-burst entry point and the unit the service's
+        vectorised dispatcher executes.
+        """
+        indices = list(indices)
+        if not indices:
+            return []
+        if not fastpath_enabled():
+            return [
+                self.decompress_block(image, index) for index in indices
+            ]
+        from repro.fastpath.samc_kernel import compiled_model
+
+        model: SamcModel = image.metadata["model"]
+        word_counts = [
+            self._original_block_bytes(image, index) // self.word_bytes
+            for index in indices
+        ]
+        rec = get_recorder()
+        with rec.span("samc.decode_batch", blocks=len(indices)), \
+                decode_guard("samc.decompress_blocks"):
+            payloads = [block_payload(image, index) for index in indices]
+            batches = compiled_model(model).decode_blocks(
+                payloads, word_counts
+            )
+        if rec.enabled:
+            rec.count("samc.blocks_decoded", len(indices))
+            rec.count("samc.words_decoded", sum(word_counts))
+        return [
+            words_to_bytes(words, self.word_bytes) for words in batches
+        ]
 
     def decompress_block(self, image: CompressedImage, block_index: int) -> bytes:
         """Random-access decompression of a single cache block.

@@ -20,6 +20,30 @@ scalar index *per coded bit* (``walk_encode`` → ``p0_quantized`` →
   compiling the frozen model into flat Python integer lists indexed by
   ``context * nodes + node`` and inlining the range decoder: zero
   attribute lookups or method calls per bit.
+* **Batch decoding** (:meth:`CompiledSamcModel.decode_blocks`) — blocks
+  are independent by construction (coder state, Markov context, and tree
+  pointers all reset at block boundaries), and every block follows the
+  *same* (stream, depth) bit schedule; only the per-block coder state
+  differs.  The lockstep decoder therefore runs the range decoder across
+  the whole batch at once: one vectorised split/branch/renormalisation
+  step over all live blocks per scheduled bit, with numpy boolean masks
+  selecting the blocks that renormalise (or have already finished) at
+  each step.  Masked blocks simply do not advance their read pointers or
+  shift their coder registers, so every block's state trajectory is
+  bit-for-bit the trajectory the scalar loop would have produced — which
+  is why the batch path is byte-identical, not merely equivalent.
+* **Batch encoding** (:meth:`CompiledSamcModel.encode_blocks` above a
+  batch threshold) — the same lockstep structure in reverse: the bit and
+  probability matrices from :func:`_walk_arrays` are transposed to
+  bit-major order and all blocks' range coders advance together, with
+  renormalisation bytes scattered into per-block output rows.
+
+The lockstep step has a fixed numpy-call cost per scheduled bit that is
+(nearly) independent of the batch size, while the scalar loops scale
+linearly in it — so vectorisation only wins above a crossover batch
+(roughly 10²  blocks; override with ``REPRO_BATCH_MIN``).  Below the
+threshold the batch entry points fall back to the fused scalar loops, so
+small batches never regress.
 
 Every loop is a line-for-line port of the reference control flow, so the
 output is bit-identical; the golden-vector and differential tests pin it.
@@ -27,7 +51,8 @@ output is bit-identical; the golden-vector and differential tests pin it.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import os
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +63,32 @@ from repro.obs import get_recorder
 _MASK = 0xFFFFFFFF
 _TOP = 1 << 24
 _BOT = 1 << 16
+
+#: Measured crossover below which the lockstep batch kernels lose to the
+#: fused scalar loops (each numpy call costs ~1µs regardless of batch
+#: size, so the vectorised step only amortises over enough blocks).
+DEFAULT_BATCH_MIN = 96
+
+#: Streams deeper than this would need oversized prefix-deposit LUTs
+#: (2**k entries); no real configuration comes close, but stay safe.
+_MAX_LUT_DEPTH = 12
+
+
+def batch_min() -> int:
+    """Batch size at which the lockstep kernels engage.
+
+    ``REPRO_BATCH_MIN`` overrides the measured default — set it to ``1``
+    to force the vectorised path (the differential tests do, so small
+    ragged batches exercise the lockstep code), or very high to pin the
+    scalar loops.
+    """
+    raw = os.environ.get("REPRO_BATCH_MIN")
+    if raw is None:
+        return DEFAULT_BATCH_MIN
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_BATCH_MIN
 
 
 def _walk_arrays(
@@ -147,6 +198,38 @@ class CompiledSamcModel:
             self._streams.append(
                 (shifts, stream_model.node_count, p0_flat, mask)
             )
+        # Lockstep batch tables ((depth views, deposit LUT, ...) per
+        # stream) are built lazily on the first batch call.
+        self._batch_streams: Optional[list] = None
+
+    def _compile_batch(self) -> Optional[list]:
+        """Per-stream arrays for the lockstep batch coders (cached).
+
+        For each stream: the quantised-probability table sliced into one
+        view per tree depth (folding the ``(1 << depth) - 1`` node base
+        into the view offset, so the per-bit gather is a single ``take``)
+        and a prefix→word-bits deposit LUT that places a whole stream's
+        decoded bits with one gather instead of one shift-or per bit.
+        """
+        if self._batch_streams is not None:
+            return self._batch_streams
+        if any(len(shifts) > _MAX_LUT_DEPTH for shifts, *_ in self._streams):
+            return None
+        compiled = []
+        for shifts, nodes, p0_flat, ctx_mask in self._streams:
+            table = np.asarray(p0_flat, dtype=np.int64)
+            k = len(shifts)
+            lut = np.zeros(1 << k, dtype=np.int64)
+            for prefix in range(1 << k):
+                word = 0
+                for depth, shift in enumerate(shifts):
+                    if (prefix >> (k - 1 - depth)) & 1:
+                        word |= 1 << shift
+                lut[prefix] = word
+            views = [table[(1 << depth) - 1:] for depth in range(k)]
+            compiled.append((k, nodes, views, lut, ctx_mask))
+        self._batch_streams = compiled
+        return compiled
 
     # -- encode --------------------------------------------------------
 
@@ -168,13 +251,22 @@ class CompiledSamcModel:
             bit_cols.append(bits)
             prob_cols.append(table[ctx[:, None], node])
         width = self.width
-        bits_flat = np.concatenate(bit_cols, axis=1).ravel().tolist()
-        probs_flat = np.concatenate(prob_cols, axis=1).ravel().tolist()
+        bits_mat = np.concatenate(bit_cols, axis=1)
+        probs_mat = np.concatenate(prob_cols, axis=1)
         rec = get_recorder()
         if rec.enabled:
             return self._encode_blocks_instrumented(
-                rec, bits_flat, probs_flat, n, words_per_block
+                rec,
+                bits_mat.ravel().tolist(),
+                probs_mat.ravel().tolist(),
+                n,
+                words_per_block,
             )
+        n_blocks = -(-n // words_per_block)
+        if n_blocks >= batch_min():
+            return _encode_blocks_vec(bits_mat, probs_mat, n, words_per_block)
+        bits_flat = bits_mat.ravel().tolist()
+        probs_flat = probs_mat.ravel().tolist()
         return [
             _encode_span(
                 bits_flat[start * width : min(n, start + words_per_block) * width],
@@ -264,6 +356,248 @@ class CompiledSamcModel:
                 context = prefix & ctx_mask
             words.append(word)
         return words
+
+    def decode_blocks(
+        self, payloads: Sequence[bytes], word_counts: Sequence[int]
+    ) -> List[List[int]]:
+        """Decode a batch of independent cache blocks.
+
+        Byte-identical to calling :meth:`decode_block` per element; above
+        :func:`batch_min` blocks the lockstep vectorised decoder runs,
+        below it the fused scalar loop (which is faster there) does.
+        """
+        if len(payloads) != len(word_counts):
+            raise ValueError("payloads and word_counts must align")
+        if len(payloads) >= batch_min():
+            compiled = self._compile_batch()
+            if compiled is not None:
+                return self._decode_blocks_vec(compiled, payloads, word_counts)
+        return [
+            self.decode_block(payload, count)
+            for payload, count in zip(payloads, word_counts)
+        ]
+
+    def _decode_blocks_vec(
+        self,
+        compiled: list,
+        payloads: Sequence[bytes],
+        word_counts: Sequence[int],
+    ) -> List[List[int]]:
+        """The lockstep batch range decoder.
+
+        All blocks share one bit schedule — (stream, depth) pairs in
+        coding order — so the only per-block state is the coder triple
+        and the Markov prefix/context, held as length-``batch`` arrays.
+        Instead of the coder's ``code`` register we track
+        ``D = (code - low) & MASK`` (the branch test needs only ``D``,
+        saving one vector op per bit); finished blocks (past their word
+        count) are masked out of renormalisation, so their read pointers
+        freeze and live blocks march through *exactly* the scalar byte
+        sequence.  Payload bytes live in one flat zero-padded array with
+        a per-block stride — the same "reads past the end see zeros"
+        convention as the scalar loop.
+        """
+        batch = len(payloads)
+        if batch == 0:
+            return []
+        max_words = max(word_counts)
+        if max_words == 0:
+            return [[] for _ in payloads]
+        stride = max(len(p) for p in payloads) + 8
+        padded = bytearray(batch * stride)
+        for i, payload in enumerate(payloads):
+            padded[i * stride : i * stride + len(payload)] = payload
+        flat = np.frombuffer(bytes(padded), dtype=np.uint8).astype(np.int64)
+        wc = np.asarray(word_counts, dtype=np.int64)
+
+        low = np.zeros(batch, dtype=np.int64)
+        rng = np.full(batch, _MASK, dtype=np.int64)
+        D = np.zeros(batch, dtype=np.int64)
+        pos = np.arange(batch, dtype=np.int64) * stride
+        for _ in range(4):
+            D <<= 8
+            D |= flat.take(pos)
+            pos += 1
+        context = np.zeros(batch, dtype=np.int64)
+        words = np.zeros((batch, max_words), dtype=np.int64)
+
+        # Preallocated scratch: the per-bit step runs allocation-free.
+        idx = np.empty(batch, dtype=np.int64)
+        ctx_base = np.empty(batch, dtype=np.int64)
+        p0 = np.empty(batch, dtype=np.int64)
+        split = np.empty(batch, dtype=np.int64)
+        t1 = np.empty(batch, dtype=np.int64)
+        t2 = np.empty(batch, dtype=np.int64)
+        bs = np.empty(batch, dtype=np.int64)
+        prefix = np.empty(batch, dtype=np.int64)
+        bit = np.empty(batch, dtype=bool)
+        under = np.empty(batch, dtype=bool)
+        need = np.empty(batch, dtype=bool)
+        shift_in = np.empty(batch, dtype=bool)
+        word = np.empty(batch, dtype=np.int64)
+        live = np.empty(batch, dtype=bool)
+
+        for w in range(max_words):
+            np.greater(wc, w, out=live)
+            word[:] = 0
+            for k, nodes, views, lut, ctx_mask in compiled:
+                np.multiply(context, nodes, out=ctx_base)
+                prefix[:] = 0
+                for depth in range(k):
+                    np.add(ctx_base, prefix, out=idx)
+                    np.take(views[depth], idx, out=p0)
+                    np.right_shift(rng, PROB_BITS, out=t1)
+                    np.multiply(t1, p0, out=split)
+                    np.greater_equal(D, split, out=bit)
+                    np.multiply(split, bit, out=bs)
+                    D -= bs
+                    # `low` stays unmasked: every consumer below is
+                    # invariant mod 2**32, and int64 cannot overflow
+                    # within a block's 2**32-bounded additions.
+                    low += bs
+                    np.subtract(rng, split, out=t1)
+                    np.copyto(rng, split)
+                    np.copyto(rng, t1, where=bit)
+                    prefix += prefix
+                    prefix += bit
+                    while True:
+                        # Carry-less renorm condition, vectorised: a
+                        # block shifts a byte when its top byte settled
+                        # (low and low+rng agree) or its range
+                        # underflowed below 2**16.
+                        np.add(low, rng, out=t1)
+                        np.bitwise_xor(t1, low, out=t1)
+                        t1 &= _MASK
+                        np.greater_equal(t1, _TOP, out=need)  # unsettled
+                        np.less(rng, _BOT, out=under)
+                        np.logical_not(need, out=shift_in)    # settled
+                        np.logical_or(shift_in, under, out=shift_in)
+                        np.logical_and(shift_in, live, out=shift_in)
+                        if not shift_in.any():
+                            break
+                        np.logical_and(need, under, out=need)  # underflow
+                        np.logical_and(need, live, out=need)
+                        if need.any():
+                            np.negative(low, out=t1)
+                            t1 &= _BOT - 1
+                            np.copyto(rng, t1, where=need)
+                        np.left_shift(D, 8, out=t1)
+                        t1 |= flat.take(pos)
+                        t1 &= _MASK
+                        np.copyto(D, t1, where=shift_in)
+                        pos += shift_in
+                        np.left_shift(low, 8, out=t1)
+                        t1 &= _MASK
+                        np.copyto(low, t1, where=shift_in)
+                        np.left_shift(rng, 8, out=t1)
+                        t1 &= _MASK
+                        np.copyto(rng, t1, where=shift_in)
+                np.take(lut, prefix, out=t2)
+                word |= t2
+                np.bitwise_and(prefix, ctx_mask, out=context)
+            words[:, w] = word
+        return [
+            words[i, : word_counts[i]].tolist() for i in range(batch)
+        ]
+
+
+def _encode_blocks_vec(
+    bits_mat: np.ndarray,
+    probs_mat: np.ndarray,
+    n_words: int,
+    words_per_block: int,
+) -> List[bytes]:
+    """Lockstep batch range encoder: all blocks advance one bit at a time.
+
+    The mirror image of ``_decode_blocks_vec`` — the bit/probability
+    matrices from ``_walk_arrays`` are reshaped to (block, bit) and
+    transposed to bit-major order, so per scheduled bit the inputs are
+    contiguous row views and the only work is the vectorised coder step.
+    Renormalisation bytes scatter into one ``uint8`` row per block
+    (capacity 2 bytes per coded bit — a hard bound, since quantised
+    probabilities are at least 2**-16); a short tail block is masked out
+    once its own bits run dry.  Each block finishes with the *same*
+    :func:`flush_interval` the scalar encoders use, so payloads are
+    byte-identical to ``_encode_span``'s.
+    """
+    width = bits_mat.shape[1]
+    n_blocks = -(-n_words // words_per_block)
+    block_bits = words_per_block * width
+    padded_words = n_blocks * words_per_block
+    if padded_words != n_words:
+        pad = np.zeros((padded_words - n_words, width), dtype=np.int64)
+        bits_mat = np.concatenate([bits_mat, pad])
+        probs_mat = np.concatenate([probs_mat, pad])
+    bits_bm = np.ascontiguousarray(
+        bits_mat.reshape(n_blocks, block_bits).T
+    )
+    probs_bm = np.ascontiguousarray(
+        probs_mat.reshape(n_blocks, block_bits).T
+    )
+    bools_bm = bits_bm.astype(bool)
+    nbits = np.full(n_blocks, block_bits, dtype=np.int64)
+    tail_words = n_words - (n_blocks - 1) * words_per_block
+    nbits[-1] = tail_words * width
+
+    cap = 2 * block_bits + 8
+    out = np.zeros(n_blocks * cap, dtype=np.uint8)
+    opos = np.arange(n_blocks, dtype=np.int64) * cap
+    low = np.zeros(n_blocks, dtype=np.int64)
+    rng = np.full(n_blocks, _MASK, dtype=np.int64)
+    split = np.empty(n_blocks, dtype=np.int64)
+    t1 = np.empty(n_blocks, dtype=np.int64)
+    bs = np.empty(n_blocks, dtype=np.int64)
+    need = np.empty(n_blocks, dtype=bool)
+    under = np.empty(n_blocks, dtype=bool)
+    emit = np.empty(n_blocks, dtype=bool)
+    live = np.empty(n_blocks, dtype=bool)
+
+    for j in range(block_bits):
+        np.greater(nbits, j, out=live)
+        np.right_shift(rng, PROB_BITS, out=t1)
+        np.multiply(t1, probs_bm[j], out=split)
+        np.multiply(split, bits_bm[j], out=bs)
+        low += bs  # bs is 0 past a tail block's end (padded bits are 0)
+        # split becomes the candidate new rng; a finished block's rng
+        # must stay frozen (its padded probability is 0, which would
+        # zero rng and poison the final flush), hence the live mask.
+        np.subtract(rng, split, out=t1)
+        np.copyto(split, t1, where=bools_bm[j])
+        np.copyto(rng, split, where=live)
+        while True:
+            np.add(low, rng, out=t1)
+            np.bitwise_xor(t1, low, out=t1)
+            t1 &= _MASK
+            np.greater_equal(t1, _TOP, out=need)  # unsettled
+            np.less(rng, _BOT, out=under)
+            np.logical_not(need, out=emit)        # settled
+            np.logical_or(emit, under, out=emit)
+            np.logical_and(emit, live, out=emit)
+            if not emit.any():
+                break
+            np.logical_and(need, under, out=need)  # underflow
+            np.logical_and(need, live, out=need)
+            if need.any():
+                np.negative(low, out=t1)
+                t1 &= _BOT - 1
+                np.copyto(rng, t1, where=need)
+            np.right_shift(low, 24, out=t1)
+            t1 &= 0xFF
+            out[opos[emit]] = t1[emit]
+            opos += emit
+            np.left_shift(low, 8, out=t1)
+            t1 &= _MASK
+            np.copyto(low, t1, where=emit)
+            np.left_shift(rng, 8, out=t1)
+            t1 &= _MASK
+            np.copyto(rng, t1, where=emit)
+    payloads: List[bytes] = []
+    for i in range(n_blocks):
+        base = i * cap
+        buf = bytearray(out[base : opos[i]].tobytes())
+        flush_interval(int(low[i]) & _MASK, int(rng[i]), buf)
+        payloads.append(bytes(buf))
+    return payloads
 
 
 def _encode_span(bits: List[int], probs: List[int]) -> bytes:

@@ -26,6 +26,7 @@ the same seed replay the same request sequence.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -37,6 +38,7 @@ from repro.service.protocol import (
     OP_COMPRESS,
     OP_DECOMPRESS,
     OP_HEALTH,
+    OP_STATS,
     STATUS_BUSY,
     STATUS_OK,
 )
@@ -119,6 +121,11 @@ class LoadgenReport:
     elapsed: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
     error_samples: List[str] = field(default_factory=list)
+    #: The daemon's ``stats`` document, fetched right after the run
+    #: (``None`` if the fetch failed).  Source of the server-side batch
+    #: picture: the achieved ``service.batch_size`` histogram and the
+    #: grouped/singleton dispatch split.
+    service_stats: Optional[Dict[str, object]] = None
 
     @property
     def achieved_rps(self) -> float:
@@ -162,6 +169,20 @@ class LoadgenReport:
                 "max": round(max(self.latencies_ms), 3)
                 if self.latencies_ms else 0.0,
             },
+            "batch": self.batch_summary(),
+        }
+
+    def batch_summary(self) -> Optional[Dict[str, object]]:
+        """Server-side batching picture from the ``stats`` document."""
+        if not self.service_stats:
+            return None
+        counters = self.service_stats.get("counters") or {}
+        return {
+            "batch_size": self.service_stats.get("batch"),
+            "grouped_dispatches": counters.get("service.batch_grouped", 0),
+            "singleton_dispatches": counters.get(
+                "service.batch_singleton", 0
+            ),
         }
 
     def format_lines(self) -> List[str]:
@@ -183,6 +204,23 @@ class LoadgenReport:
             ("latency max", f"{latency['max']:.2f} ms"),
             ("saturated", "yes" if self.saturated else "no"),
         ]
+        batch = self.batch_summary()
+        if batch is not None:
+            rows = list(rows)
+            size = batch["batch_size"] or {}
+            if size:
+                rows.append((
+                    "batch size",
+                    f"mean {size.get('mean', 0):.2f} / "
+                    f"p50 {size.get('p50', 0):.0f} / "
+                    f"p99 {size.get('p99', 0):.0f} "
+                    f"({size.get('count', 0)} dispatches)",
+                ))
+            rows.append((
+                "vector groups",
+                f"{batch['grouped_dispatches']} grouped / "
+                f"{batch['singleton_dispatches']} singleton",
+            ))
         lines = [f"loadgen: {self.duration:.0f}s @ {self.target_rps:.0f} rps "
                  f"over {self.connections} connections (seed {self.seed})"]
         lines.extend(format_table(rows).splitlines())
@@ -279,7 +317,31 @@ async def _run(
     ]
     await asyncio.gather(*tasks)
     report.elapsed = perf_seconds() - start
+    report.service_stats = await _fetch_stats(host, port)
     return report
+
+
+async def _fetch_stats(host: str, port: int) -> Optional[Dict[str, object]]:
+    """One ``stats`` round-trip after the run; ``None`` on any failure.
+
+    Best-effort on purpose: the run's verdict (latency, errors,
+    saturation) must not depend on a post-run bookkeeping fetch.
+    """
+    try:
+        client = await AsyncServiceClient.connect(host, port)
+        try:
+            response = await asyncio.wait_for(
+                client.request(OP_STATS, "", b""),
+                timeout=REQUEST_TIMEOUT,
+            )
+        finally:
+            await client.close()
+        if response.status != STATUS_OK:
+            return None
+        return json.loads(response.payload.decode())
+    except (CorruptedStreamError, asyncio.TimeoutError, ConnectionError,
+            OSError, ValueError):
+        return None
 
 
 def run_loadgen(

@@ -15,10 +15,11 @@ One process, three layers:
   replies ``busy`` immediately instead of buffering without bound —
   clients see saturation as a signal, not as latency collapse.
 * **Dispatchers + executor** — dispatcher tasks drain the queue in
-  batches (up to ``batch_max`` requests per drain, the unit of work
-  ROADMAP item 2's vectorised engine will accelerate) and fan each batch
-  across a thread pool.  Codec work happens in threads; the event loop
-  only moves bytes.
+  batches (up to ``batch_max`` requests per drain), group the drained
+  requests by ``(op, codec, payload digest)``, and run each group as
+  *one* executor task through the codec's batch entry point — the
+  vectorised engine of ROADMAP item 1.  Codec work happens in threads;
+  the event loop only moves bytes.
 
 Telemetry flows through :mod:`repro.obs`: request counters, queue-depth
 gauges, batch-size and per-op latency histograms (microseconds, fixed
@@ -29,6 +30,7 @@ p50/p99 derived via :func:`repro.obs.metrics.histogram_quantile`.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -68,7 +70,10 @@ class ServiceConfig:
     port: int = protocol.DEFAULT_PORT
     #: Bounded request queue; a full queue answers ``busy``.
     queue_size: int = 256
-    #: Requests drained per dispatch (the service's unit of work).
+    #: Requests drained per dispatch (the service's unit of work), and
+    #: therefore the ceiling on how many requests one vectorised group
+    #: can merge: grouping happens *within* a drain, so no batch codec
+    #: call ever sees more than ``batch_max`` payloads.
     batch_max: int = 8
     #: Concurrent dispatcher tasks (batches in flight).
     dispatchers: int = 2
@@ -293,67 +298,119 @@ class CodecService:
                     break
             rec.observe("service.batch_size", len(batch))
             rec.count("service.batches")
-            futures = [
-                loop.run_in_executor(self._pool, self._execute, it.request)
-                for it in batch
-            ]
-            responses = await asyncio.gather(*futures, return_exceptions=True)
-            for it, response in zip(batch, responses):
-                if isinstance(response, BaseException):
-                    # _execute converts exceptions itself; this is the
-                    # belt-and-braces path for executor failures.
-                    rec.count("service.internal_errors")
-                    response = error_response(
-                        it.request.op, it.request.request_id, "internal",
-                        f"{type(response).__name__}: {response}",
-                    )
-                self._observe_latency(
-                    OP_NAMES[it.request.op], it.accepted_ns
+            # Group the drain by (op, codec, payload digest): every
+            # member of a group is the *same* work, so each group runs
+            # as one executor task through the codec's batch entry
+            # point instead of one task per request.  The digest stands
+            # in for a model fingerprint — the warm registry keys
+            # models by input hash, so identical payloads share a model.
+            groups: Dict[Tuple[int, str, bytes], List[_WorkItem]] = {}
+            for it in batch:
+                key = (
+                    it.request.op,
+                    it.request.codec,
+                    hashlib.sha256(it.request.payload).digest(),
                 )
-                await self._send(it.conn, response)
-                # Decrement only after the reply went out: the reader
-                # side waits on `idle` before closing the writer, and
-                # an early decrement would let the close race the send.
-                it.conn.inflight -= 1
-                if it.conn.inflight == 0:
-                    it.conn.idle.set()
+                groups.setdefault(key, []).append(it)
+            for group in groups.values():
+                rec.observe("service.group_size", len(group))
+                rec.count(
+                    "service.batch_grouped" if len(group) > 1
+                    else "service.batch_singleton"
+                )
+            futures = [
+                loop.run_in_executor(self._pool, self._execute_group, group)
+                for group in groups.values()
+            ]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            for group, result in zip(groups.values(), results):
+                if isinstance(result, BaseException):
+                    # _execute_group converts exceptions itself; this is
+                    # the belt-and-braces path for executor failures.
+                    rec.count("service.internal_errors")
+                    result = [
+                        error_response(
+                            it.request.op, it.request.request_id,
+                            "internal",
+                            f"{type(result).__name__}: {result}",
+                        )
+                        for it in group
+                    ]
+                for it, response in zip(group, result):
+                    self._observe_latency(
+                        OP_NAMES[it.request.op], it.accepted_ns
+                    )
+                    await self._send(it.conn, response)
+                    # Decrement only after the reply went out: the
+                    # reader side waits on `idle` before closing the
+                    # writer, and an early decrement would let the
+                    # close race the send.
+                    it.conn.inflight -= 1
+                    if it.conn.inflight == 0:
+                        it.conn.idle.set()
 
-    def _execute(self, request: Request) -> Response:
-        """Run one codec request (executor thread).  Never raises."""
+    def _execute_group(self, items: List[_WorkItem]) -> List[Response]:
+        """Run one group of identical codec requests (executor thread).
+
+        Never raises.  Group members share op, codec, and payload bytes
+        (grouping is digest-keyed), so on failure the one error maps to
+        every member's ``request_id`` — exactly what per-request
+        execution would have produced.
+        """
         rec = get_recorder()
-        codec = self.codecs.get(request.codec)
+        requests = [it.request for it in items]
+        first = requests[0]
+        codec = self.codecs.get(first.codec)
         if codec is None:
-            return error_response(
-                request.op, request.request_id, "invalid",
-                f"unknown codec {request.codec!r} "
-                f"(have: {', '.join(sorted(self.codecs))})",
+            message = (
+                f"unknown codec {first.codec!r} "
+                f"(have: {', '.join(sorted(self.codecs))})"
             )
-        rec.count(f"service.codec.{request.codec}")
+            return [
+                error_response(r.op, r.request_id, "invalid", message)
+                for r in requests
+            ]
+        rec.count(f"service.codec.{first.codec}", len(requests))
+        payloads = [request.payload for request in requests]
         try:
-            if request.op == OP_COMPRESS:
-                out = codec.compress(request.payload)
+            if first.op == OP_COMPRESS:
+                if len(payloads) > 1 and codec.compress_batch is not None:
+                    outs = codec.compress_batch(payloads)
+                else:
+                    outs = [codec.compress(p) for p in payloads]
             else:
-                out = codec.decompress(request.payload)
+                if len(payloads) > 1 and codec.decompress_batch is not None:
+                    outs = codec.decompress_batch(payloads)
+                else:
+                    outs = [codec.decompress(p) for p in payloads]
         except CorruptedStreamError as error:
-            rec.count("service.request_errors")
-            return error_response(
-                request.op, request.request_id, error.category, str(error)
-            )
+            rec.count("service.request_errors", len(requests))
+            return [
+                error_response(r.op, r.request_id, error.category, str(error))
+                for r in requests
+            ]
         except (ValueError, KeyError, NotImplementedError) as error:
-            rec.count("service.request_errors")
-            return error_response(
-                request.op, request.request_id, "invalid", str(error)
-            )
+            rec.count("service.request_errors", len(requests))
+            return [
+                error_response(r.op, r.request_id, "invalid", str(error))
+                for r in requests
+            ]
         except Exception as error:  # the wire contract: never leak
-            rec.count("service.internal_errors")
-            return error_response(
-                request.op, request.request_id, "internal",
-                f"{type(error).__name__}: {error}",
+            rec.count("service.internal_errors", len(requests))
+            return [
+                error_response(
+                    r.op, r.request_id, "internal",
+                    f"{type(error).__name__}: {error}",
+                )
+                for r in requests
+            ]
+        return [
+            Response(
+                op=request.op, status=STATUS_OK,
+                request_id=request.request_id, payload=out,
             )
-        return Response(
-            op=request.op, status=STATUS_OK,
-            request_id=request.request_id, payload=out,
-        )
+            for request, out in zip(requests, outs)
+        ]
 
     # -- replies and telemetry -----------------------------------------
 

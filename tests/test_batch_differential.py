@@ -1,0 +1,242 @@
+"""Differential tests for the batch codec engine.
+
+The batch entry points (``decompress_blocks`` / ``encode_blocks`` /
+``tokenize_blocks`` / ``lzw_compress_blocks``) are specified as *exactly*
+the per-item loop — byte-identical output for every input, under both
+``REPRO_FASTPATH`` settings.  Hypothesis drives random programs, ragged
+batches (mixed word counts, short tails), repeated and reordered
+indices, and empty batches through both forms.  ``REPRO_BATCH_MIN=1``
+forces the lockstep vectorised kernels even at tiny batch sizes, so the
+vector path itself is what gets exercised, not the small-batch scalar
+fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import lzss
+from repro.baselines.byte_huffman import ByteHuffmanCodec
+from repro.baselines.lzw import lzw_compress, lzw_compress_blocks
+from repro.core.samc.codec import SamcCodec
+from repro.resilience.errors import CorruptedStreamError
+
+
+@contextmanager
+def _env(**overrides):
+    """Set env vars for the duration (hypothesis-safe, unlike the
+    function-scoped ``monkeypatch`` fixture)."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _word_data(data: bytes) -> bytes:
+    return data[: len(data) - len(data) % 4]
+
+
+# ---------------------------------------------------------------------------
+# SAMC: batch decode vs per-block decode
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=16, max_size=512).map(_word_data),
+       st.randoms(use_true_random=False))
+def test_samc_decompress_blocks_differential(data, rng):
+    """Every index order — contiguous, shuffled, repeated — decodes
+    identically through the batch API on all four path combinations."""
+    if not data:
+        return
+    codec = SamcCodec.for_mips(block_size=16)
+    image = codec.compress(data)
+    indices = list(range(image.block_count()))
+    shuffled = indices[:]
+    rng.shuffle(shuffled)
+    ragged = shuffled + shuffled[: max(1, len(shuffled) // 2)]
+    with _env(REPRO_FASTPATH="0"):
+        expected = [codec.decompress_block(image, i) for i in ragged]
+        assert codec.decompress_blocks(image, ragged) == expected
+    with _env(REPRO_FASTPATH="1", REPRO_BATCH_MIN="1"):
+        assert [codec.decompress_block(image, i) for i in ragged] == expected
+        assert codec.decompress_blocks(image, ragged) == expected
+    # Scalar fastpath fallback (batch below the dispatch threshold).
+    with _env(REPRO_FASTPATH="1", REPRO_BATCH_MIN="10000"):
+        assert codec.decompress_blocks(image, ragged) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.binary(min_size=8, max_size=256))
+def test_samc_bytes_decompress_blocks_differential(data):
+    """The byte-stream SAMC variant (ragged tail blocks included)."""
+    if not data:
+        return
+    codec = SamcCodec.for_bytes(block_size=32)
+    image = codec.compress(data)
+    indices = list(range(image.block_count()))
+    with _env(REPRO_FASTPATH="0"):
+        expected = [codec.decompress_block(image, i) for i in indices]
+        assert codec.decompress_blocks(image, indices) == expected
+    with _env(REPRO_FASTPATH="1", REPRO_BATCH_MIN="1"):
+        assert codec.decompress_blocks(image, indices) == expected
+    assert b"".join(expected) == data
+
+
+def test_samc_decompress_blocks_empty():
+    codec = SamcCodec.for_mips(block_size=16)
+    image = codec.compress(bytes(range(64)))
+    for fastpath in ("0", "1"):
+        with _env(REPRO_FASTPATH=fastpath, REPRO_BATCH_MIN="1"):
+            assert codec.decompress_blocks(image, []) == []
+
+
+def test_samc_decode_blocks_rejects_mismatched_lengths():
+    from repro.fastpath.samc_kernel import compiled_model
+
+    codec = SamcCodec.for_mips(block_size=16)
+    image = codec.compress(bytes(range(64)))
+    compiled = compiled_model(image.metadata["model"])
+    with pytest.raises(ValueError):
+        compiled.decode_blocks(list(image.blocks), [4])
+
+
+# ---------------------------------------------------------------------------
+# SAMC: vectorised encode vs scalar encode
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=16, max_size=512).map(_word_data),
+       st.sampled_from([1, 3, 4, 7]))
+def test_samc_encode_blocks_vec_vs_scalar(data, words_per_block):
+    """The vector encoder emits the scalar encoder's exact bytes, block
+    for block, including the final short block."""
+    from repro.fastpath.samc_kernel import compiled_model
+
+    if not data:
+        return
+    codec = SamcCodec.for_mips(block_size=16)
+    image = codec.compress(data)  # trains + freezes a model for us
+    model = image.metadata["model"]
+    words = [int.from_bytes(data[i : i + 4], "big")
+             for i in range(0, len(data), 4)]
+    with _env(REPRO_BATCH_MIN="10000"):
+        scalar = compiled_model(model).encode_blocks(words, words_per_block)
+    with _env(REPRO_BATCH_MIN="1"):
+        vec = compiled_model(model).encode_blocks(words, words_per_block)
+    assert vec == scalar
+
+
+# ---------------------------------------------------------------------------
+# Byte-Huffman: table-driven batch decode vs the probing decoder
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=400))
+def test_byte_huffman_decompress_blocks_differential(data):
+    codec = ByteHuffmanCodec(block_size=32)
+    image = codec.compress(data)
+    indices = list(range(image.block_count()))
+    ragged = indices + indices[::-1]
+    with _env(REPRO_FASTPATH="0"):
+        expected = [codec.decompress_block(image, i) for i in ragged]
+        assert codec.decompress_blocks(image, ragged) == expected
+    with _env(REPRO_FASTPATH="1"):
+        assert codec.decompress_blocks(image, ragged) == expected
+        assert codec.decompress_blocks(image, []) == []
+    assert b"".join(expected[: len(indices)]) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=8, max_size=200), st.integers(0, 10_000),
+       st.integers(0, 255))
+def test_byte_huffman_corruption_differential(data, position, flip):
+    """On corrupted payloads both paths agree: same bytes out, or the
+    same error category (the batch path falls back to the reference
+    loop whenever the table decode goes off the rails)."""
+    codec = ByteHuffmanCodec(block_size=16)
+    image = codec.compress(data)
+    target = position % len(image.blocks)
+    payload = bytearray(image.blocks[target])
+    if not payload:
+        return
+    payload[position % len(payload)] ^= (flip or 1)
+    image.blocks[target] = bytes(payload)
+    indices = list(range(image.block_count()))
+
+    def outcome():
+        try:
+            return codec.decompress_blocks(image, indices)
+        except CorruptedStreamError as error:
+            return ("error", error.category)
+
+    with _env(REPRO_FASTPATH="0"):
+        expected = outcome()
+    with _env(REPRO_FASTPATH="1"):
+        assert outcome() == expected
+
+
+# ---------------------------------------------------------------------------
+# LZ batch entry points
+
+lz_blocks = st.lists(
+    st.one_of(
+        st.binary(max_size=200),
+        st.builds(
+            lambda unit, reps: unit * reps,
+            st.binary(min_size=1, max_size=6),
+            st.integers(1, 60),
+        ),
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(lz_blocks)
+def test_lzss_tokenize_blocks_differential(blocks):
+    expected = [lzss._tokenize_reference(block) for block in blocks]
+    with _env(REPRO_FASTPATH="0"):
+        assert lzss.tokenize_blocks(blocks) == expected
+    with _env(REPRO_FASTPATH="1"):
+        assert lzss.tokenize_blocks(blocks) == expected
+    # Duplicate-heavy batch: the dedup path must replay, not alias-skip.
+    doubled = blocks + blocks
+    with _env(REPRO_FASTPATH="1"):
+        assert lzss.tokenize_blocks(doubled) == expected + expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(lz_blocks)
+def test_lzw_compress_blocks_differential(blocks):
+    with _env(REPRO_FASTPATH="0"):
+        expected = [lzw_compress(block) for block in blocks]
+        assert lzw_compress_blocks(blocks) == expected
+    with _env(REPRO_FASTPATH="1"):
+        assert lzw_compress_blocks(blocks) == expected
+        assert lzw_compress_blocks(blocks + blocks) == expected + expected
+
+
+# ---------------------------------------------------------------------------
+# SADC: the batch API is the per-block loop by definition
+
+def test_sadc_decompress_blocks_matches_loop():
+    from repro.core.sadc import MipsSadcCodec
+    from repro.workloads.suite import generate_benchmark
+
+    data = generate_benchmark("compress", "mips", scale=0.1, seed=7).code
+    codec = MipsSadcCodec(block_size=32)
+    image = codec.compress(data)
+    indices = list(range(image.block_count()))[::-1]
+    assert codec.decompress_blocks(image, indices) == [
+        codec.decompress_block(image, i) for i in indices
+    ]
+    assert codec.decompress_blocks(image, []) == []

@@ -101,6 +101,22 @@ def test_samc_golden(coding_path, workload):
     assert SamcCodec.for_mips().decompress(full) == workload
 
 
+def test_samc_golden_batch(coding_path, workload, monkeypatch):
+    """Batch decode reproduces the pinned vectors under both paths.
+
+    ``REPRO_BATCH_MIN=1`` forces the lockstep vectorised decoder even
+    at this tiny block count, so the golden digests pin the batch
+    engine too (under ``REPRO_FASTPATH=0`` the batch API is the
+    reference per-block loop).
+    """
+    monkeypatch.setenv("REPRO_BATCH_MIN", "1")
+    codec = SamcCodec.for_mips()
+    full = codec.compress(workload)
+    assert _sha256(b"".join(full.blocks)) == SAMC_FULL_DIGEST
+    decoded = codec.decompress_blocks(full, range(full.block_count()))
+    assert b"".join(decoded) == workload
+
+
 def test_sadc_golden(coding_path, workload):
     tiny = workload[:TINY_BYTES]
     image = sadc_compress(tiny, isa="mips")
