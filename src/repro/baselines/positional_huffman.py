@@ -24,6 +24,7 @@ from repro.entropy.huffman import (
     HuffmanEncoder,
     build_code,
 )
+from repro.resilience.errors import decode_guard
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -72,6 +73,7 @@ class PositionalHuffmanCodec:
                       "word_bytes": self.word_bytes},
         )
 
+    # repro: contract decode-entry
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(
             self.decompress_block(image, index)
@@ -79,14 +81,21 @@ class PositionalHuffmanCodec:
         )
 
     def decompress_block(self, image: CompressedImage, block_index: int) -> bytes:
-        tables: List[HuffmanCode] = image.metadata["positional_tables"]
-        decoders = [HuffmanDecoder(table) for table in tables]
         count = self._original_block_bytes(image, block_index)
-        reader = BitReader(image.blocks[block_index])
-        out = bytearray()
-        for index in range(count):
-            out.extend(decoders[index % self.word_bytes].decode_from(reader, 1))
-        return bytes(out)
+        with decode_guard("positional_huffman.decompress_block"):
+            # Everything derived from the image is untrusted: a missing
+            # metadata key, a truncated payload (BitReader EOF), or a
+            # symbol outside [0, 255] must surface as
+            # CorruptedStreamError, never a low-level exception.
+            tables: List[HuffmanCode] = image.metadata["positional_tables"]
+            decoders = [HuffmanDecoder(table) for table in tables]
+            reader = BitReader(image.blocks[block_index])
+            out = bytearray()
+            for index in range(count):
+                out.extend(
+                    decoders[index % self.word_bytes].decode_from(reader, 1)
+                )
+            return bytes(out)
 
     def _original_block_bytes(self, image: CompressedImage, block_index: int) -> int:
         full_blocks, tail = divmod(image.original_size, image.block_size)

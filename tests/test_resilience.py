@@ -14,6 +14,7 @@ import pytest
 
 from repro.baselines.byte_huffman import ByteHuffmanCodec
 from repro.baselines.lzw import lzw_compress, lzw_decompress
+from repro.baselines.positional_huffman import PositionalHuffmanCodec
 from repro.core.lat import build_lat
 from repro.core.samc import SamcCodec, samc_decompress
 from repro.core.serialize import (
@@ -316,6 +317,23 @@ class TestDecoderHardening:
             assert isinstance(out, bytes)
         except CorruptedStreamError:
             pass
+
+    def test_positional_huffman_truncated_block(self, mips_program):
+        # A truncated payload exhausts the BitReader mid-symbol; that
+        # must surface as CorruptedStreamError, never a raw EOFError.
+        codec = PositionalHuffmanCodec()
+        image = codec.compress(mips_program)
+        image.blocks[0] = image.blocks[0][:1]
+        with pytest.raises(CorruptedStreamError):
+            codec.decompress(image)
+
+    def test_positional_huffman_missing_tables_metadata(self, mips_program):
+        # Forged metadata (missing table key) must not leak a KeyError.
+        codec = PositionalHuffmanCodec()
+        image = codec.compress(mips_program)
+        del image.metadata["positional_tables"]
+        with pytest.raises(CorruptedStreamError):
+            codec.decompress(image)
 
 
 class TestFuzzDriver:
