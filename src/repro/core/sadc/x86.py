@@ -34,6 +34,7 @@ from repro.entropy.huffman import (
 from repro.isa.x86.formats import X86Instruction, decode_all
 from repro.obs import get_recorder
 from repro.resilience.errors import (
+    CATEGORY_BUDGET,
     CATEGORY_STRUCTURE,
     CorruptedStreamError,
     decode_guard,
@@ -324,11 +325,13 @@ class X86SadcCodec:
             rec.gauge("sadc.dictionary_entries", len(dictionary.entries))
         return image
 
+    # repro: contract decode-entry
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(
             self.decompress_blocks(image, range(image.block_count()))
         )
 
+    # repro: contract decode-entry
     def decompress_blocks(
         self, image: CompressedImage, indices
     ) -> List[bytes]:
@@ -353,6 +356,16 @@ class X86SadcCodec:
         codes: Dict[str, HuffmanCode] = image.metadata["codes"]
         with decode_guard("sadc.x86.decompress_block"):
             expected = image.metadata["block_instruction_counts"][block_index]
+            if expected > image.block_size:
+                # The per-block instruction count is a wire-declared
+                # u16; x86 instructions are at least one byte, so a
+                # count beyond block_size is a forged length that would
+                # otherwise drive allocation before the reader runs dry.
+                raise CorruptedStreamError(
+                    f"block {block_index} declares {expected} instructions "
+                    f"for a {image.block_size}-byte block",
+                    category=CATEGORY_BUDGET,
+                )
             reader = BitReader(block_payload(image, block_index))
             token_decoder = HuffmanDecoder(codes["tokens"])
             modrm_decoder = HuffmanDecoder(codes["modrm_sib"])

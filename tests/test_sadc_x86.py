@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.sadc.x86 import X86Dictionary, X86SadcCodec, parse_block
+from repro.resilience.errors import CATEGORY_BUDGET, CorruptedStreamError
 from repro.core.sadc.x86_reassemble import (
     reassemble_instruction,
     split_opcode_entry,
@@ -90,6 +91,19 @@ class TestCodec:
         assert b"".join(pieces) == x86_program
         counts = image.metadata["block_instruction_counts"]
         assert len(pieces) == len(counts)
+
+    def test_forged_instruction_count_budget_checked(self, x86_program):
+        # block_instruction_counts is wire data (a u16 per block in the
+        # archive); a forged count must hit the budget check up front,
+        # not churn the token loop until the reader runs dry.
+        codec = X86SadcCodec()
+        image = codec.compress(x86_program)
+        counts = list(image.metadata["block_instruction_counts"])
+        counts[0] = 50_000
+        image.metadata["block_instruction_counts"] = counts
+        with pytest.raises(CorruptedStreamError) as excinfo:
+            codec.decompress_block(image, 0)
+        assert excinfo.value.category == CATEGORY_BUDGET
 
     def test_dictionary_capped(self, x86_program_large):
         image = X86SadcCodec().compress(x86_program_large)
