@@ -77,11 +77,13 @@ class ByteHuffmanCodec:
             rec.count("byte_huffman.blocks_encoded", len(blocks))
         return image
 
+    # repro: contract decode-entry
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(
             self.decompress_blocks(image, range(image.block_count()))
         )
 
+    # repro: contract decode-entry
     def decompress_blocks(
         self, image: CompressedImage, indices: Sequence[int]
     ) -> List[bytes]:

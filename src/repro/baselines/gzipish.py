@@ -179,6 +179,7 @@ def _emit_instrumented(rec, coded, litlen_code, dist_code) -> bytes:
     return out
 
 
+# repro: contract decode-entry
 def gzipish_decompress(payload: bytes) -> bytes:
     """Inverse of :func:`gzipish_compress`.
 

@@ -133,6 +133,7 @@ def _insert(chains: Dict[bytes, List[int]], key: bytes, pos: int) -> None:
         del chain[0 : len(chain) - MAX_CHAIN]
 
 
+# repro: contract decode-entry
 def detokenize(tokens: Iterator[Token]) -> bytes:  # repro: noqa fastpath-parity (no decode kernel; copy loop is already linear)
     """Expand a token stream back to bytes."""
     out = bytearray()

@@ -114,6 +114,7 @@ def _lzw_compress_reference(data: bytes) -> bytes:
     return writer.getvalue()
 
 
+# repro: contract decode-entry
 def lzw_decompress(payload: bytes) -> bytes:  # repro: noqa fastpath-parity (no decode kernel; table rebuild dominates either way)
     """Inverse of :func:`lzw_compress`.
 

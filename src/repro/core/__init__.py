@@ -24,6 +24,7 @@ from repro.core.serialize import (
 )
 
 
+# repro: contract decode-entry
 def decompress_image(image: CompressedImage) -> bytes:
     """Decompress any image this package produced, by algorithm."""
     if image.algorithm == "SAMC":

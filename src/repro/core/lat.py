@@ -263,7 +263,7 @@ def original_block_count(original_size: int, block_size: int) -> int:
     return (original_size + block_size - 1) // block_size
 
 
-def split_blocks(code: bytes, block_size: int) -> List[bytes]:
+def split_blocks(code: bytes, block_size: int) -> List[bytes]:  # repro: noqa dual-path-drift (block slicing utility, not a batch codec entry)
     """Slice a code image into cache blocks (last may be short)."""
     if block_size <= 0:
         raise ValueError("block size must be positive")

@@ -475,11 +475,13 @@ class MipsSadcCodec:
             rec.gauge("sadc.dictionary_entries", len(dictionary.entries))
         return image
 
+    # repro: contract decode-entry
     def decompress(self, image: CompressedImage) -> bytes:
         return b"".join(
             self.decompress_blocks(image, range(image.block_count()))
         )
 
+    # repro: contract decode-entry
     def decompress_blocks(
         self, image: CompressedImage, indices
     ) -> List[bytes]:

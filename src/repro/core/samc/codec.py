@@ -273,12 +273,14 @@ class SamcCodec:
                 rec.observe("samc.block_payload_bytes", len(block))
         return image
 
+    # repro: contract decode-entry
     def decompress(self, image: CompressedImage) -> bytes:
         """Decompress a full image (all blocks, in order)."""
         return b"".join(
             self.decompress_blocks(image, range(image.block_count()))
         )
 
+    # repro: contract decode-entry
     def decompress_blocks(
         self, image: CompressedImage, indices: Sequence[int]
     ) -> List[bytes]:

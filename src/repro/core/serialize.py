@@ -391,6 +391,7 @@ def _algorithm_id(image: CompressedImage) -> int:
     raise SerializationError(f"cannot serialise algorithm {image.algorithm!r}")
 
 
+# repro: contract determinism-sink
 def serialize_image(image: CompressedImage, framed: Optional[bool] = None) -> bytes:
     """Serialise a compressed image to its standalone byte format.
 
@@ -428,6 +429,7 @@ def serialize_image(image: CompressedImage, framed: Optional[bool] = None) -> by
     return wrap_frame(archive) if framed else archive
 
 
+# repro: contract decode-entry
 def deserialize_image(data: bytes) -> CompressedImage:
     """Rebuild a decompressible :class:`CompressedImage` from bytes.
 

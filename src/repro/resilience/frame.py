@@ -52,7 +52,7 @@ def framing_enabled() -> bool:
 
     Read on every call so tests and CI can flip it without re-importing.
     """
-    return os.environ.get(FRAMED_ENV, "0") not in ("0", "")
+    return os.environ.get(FRAMED_ENV, "0") not in ("0", "")  # repro: noqa determinism-taint (REPRO_FRAMED is the deliberate opt-in container switch; on/off both stay bit-reproducible)
 
 
 def wrap_frame(payload: bytes, flags: int = 0) -> bytes:
@@ -71,6 +71,7 @@ def is_framed(data: bytes) -> bool:
     return data[:4] == FRAME_MAGIC
 
 
+# repro: contract decode-entry
 def unwrap_frame(data: bytes) -> bytes:
     """Validate a frame and return its payload.
 
@@ -146,6 +147,7 @@ def frame_image(image) -> "object":
     )
 
 
+# repro: contract decode-entry
 def block_payload(image, block_index: int) -> bytes:
     """One block's raw codec bytes, unwrapping the frame when present.
 

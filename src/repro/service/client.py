@@ -67,7 +67,7 @@ def recv_response(
     max_message: int = protocol.DEFAULT_MAX_MESSAGE,
 ) -> Response:
     """Read and decode one response message from a blocking socket."""
-    (length,) = protocol._LENGTH.unpack(_recv_exact(sock, 4))
+    (length,) = protocol._LENGTH.unpack(_recv_exact(sock, 4))  # repro: noqa exception-leak (_recv_exact returned exactly 4 bytes)
     if length > max_message or length < FRAME_OVERHEAD:
         raise WireError(
             f"implausible response length {length}", fatal=True

@@ -160,6 +160,7 @@ def encode_request(request: Request) -> bytes:
     ))
 
 
+# repro: contract decode-entry
 def decode_request(body: bytes) -> Request:
     """Parse a request body; raises :class:`WireError` on any defect."""
     with decode_guard("service.decode_request"):
@@ -227,6 +228,7 @@ def encode_response(response: Response) -> bytes:
     ))
 
 
+# repro: contract decode-entry
 def decode_response(body: bytes) -> Response:
     """Parse a response body; raises :class:`WireError` on any defect."""
     with decode_guard("service.decode_response"):
@@ -287,6 +289,7 @@ def pack_message(body: bytes) -> bytes:
     return _LENGTH.pack(len(frame)) + frame
 
 
+# repro: contract decode-entry
 async def read_message(
     reader: "asyncio.StreamReader",
     max_message: int = DEFAULT_MAX_MESSAGE,
@@ -309,7 +312,7 @@ async def read_message(
             category=CATEGORY_TRUNCATED,
             fatal=True,
         ) from error
-    (length,) = _LENGTH.unpack(prefix)
+    (length,) = _LENGTH.unpack(prefix)  # repro: noqa exception-leak (readexactly returned exactly 4 bytes)
     if length > max_message:
         raise WireError(
             f"declared message length {length} exceeds the "

@@ -84,12 +84,16 @@ def run_all_checks(
     lint_root: Optional[str] = None,
     artifacts: bool = True,
     lint: bool = True,
+    flow: bool = True,
 ) -> List[Finding]:
-    """Run both verification layers and return the merged findings.
+    """Run every verification layer and return the merged raw findings.
 
     ``artifact_scale`` sizes the deterministic sample corpus the layer-1
     checks build their tables from; ``lint_root`` overrides the source
-    tree the AST rules walk (defaults to the installed package).
+    tree the AST rules walk (defaults to the installed package);
+    ``flow=False`` skips the whole-program contract analyses.  Baseline
+    subtraction is a CLI concern — this function always returns the
+    full finding set.
     """
     from repro.verify.codec_checks import run_artifact_checks
     from repro.verify.lint import run_lint
@@ -99,7 +103,9 @@ def run_all_checks(
     if artifacts:
         findings.extend(run_artifact_checks(scale=artifact_scale))
     if lint:
-        findings.extend(run_lint(default_rules(), root=lint_root))
+        findings.extend(
+            run_lint(default_rules(include_flow=flow), root=lint_root)
+        )
     return sort_findings(findings)
 
 

@@ -430,9 +430,16 @@ def _called_names(func: ast.AST) -> Set[str]:
     return names
 
 
-def default_rules() -> List[object]:
-    """The rule set ``python -m repro check`` runs."""
-    return [
+def default_rules(include_flow: bool = True) -> List[object]:
+    """The rule set ``python -m repro check`` runs.
+
+    ``include_flow=False`` drops the whole-program contract analyses
+    (call-graph + dataflow), leaving only the token-level rules —
+    useful for fixtures that exercise one layer in isolation.
+    """
+    from repro.verify.contracts import flow_rules
+
+    rules: List[object] = [
         NoFloatHotpath(),
         UnorderedIteration(),
         UnseededRandom(),
@@ -440,3 +447,6 @@ def default_rules() -> List[object]:
         NoWallclockInCodec(),
         NoAssertInDecoder(),
     ]
+    if include_flow:
+        rules.extend(flow_rules())
+    return rules

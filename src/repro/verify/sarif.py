@@ -1,0 +1,70 @@
+"""SARIF 2.1.0 rendering for ``repro check --format sarif``.
+
+Emits the minimal static-analysis interchange document GitHub code
+scanning consumes: one run, one driver, one result per finding with a
+physical location.  Rule metadata is derived from the findings
+themselves so the document never lists rules that did not fire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.verify import SEVERITY_ERROR, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-check"
+
+
+def _level(finding: Finding) -> str:
+    return "error" if finding.severity == SEVERITY_ERROR else "warning"
+
+
+def to_sarif(findings: List[Finding]) -> Dict[str, Any]:
+    """Render findings as a SARIF 2.1.0 document (as a dict)."""
+    rule_ids = sorted({f.rule for f in findings})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rule_id},
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": _level(f),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.file},
+                        "region": {"startLine": max(1, f.line)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "TOOL_NAME", "to_sarif"]

@@ -25,6 +25,11 @@ from repro.verify import (
     run_all_checks,
     sort_findings,
 )
+from repro.verify.baseline import (
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+)
 from repro.verify.codec_checks import (
     check_field_layout,
     check_field_layouts,
@@ -112,8 +117,16 @@ class TestBrokenFixturesGateTheCli:
 
 
 class TestCleanRepo:
-    def test_run_all_checks_is_clean(self):
-        assert run_all_checks(artifact_scale=0.05) == []
+    def test_run_all_checks_is_clean_modulo_baseline(self):
+        # The raw run includes the accepted findings recorded in
+        # .repro-check-baseline.json; subtracting them must leave
+        # nothing, and every baseline entry must still match something.
+        findings = run_all_checks(artifact_scale=0.05)
+        path = default_baseline_path()
+        assert path is not None, "committed baseline file not found"
+        kept, _, stale = apply_baseline(findings, load_baseline(path))
+        assert kept == []
+        assert stale == []
 
     def test_declared_layouts_tile_their_words(self):
         assert check_field_layouts() == []
@@ -127,6 +140,7 @@ class TestCleanRepo:
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"] == []
         assert payload["status"] == 0
+        assert payload["stale_baseline_entries"] == 0
 
 
 # ---------------------------------------------------------------------------
