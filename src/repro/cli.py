@@ -12,12 +12,15 @@ Subcommands
 ``fuzz``        deterministic fault injection: decoders or the live service
 ``serve``       run the compression service daemon
 ``loadgen``     drive a running daemon with a paced mixed workload
+``trace``       trace one request end-to-end; emit a Chrome trace JSON
+``top``         live dashboard over a running daemon's ``stats`` op
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -470,6 +473,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             time_budget=args.time_budget,
+            dump_path=args.flightrec_dump,
         )
         failure_count = report.failure_count
     else:
@@ -506,6 +510,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_inflight=args.max_inflight,
         registry_entries=args.registry_entries,
+        metrics_port=args.metrics_port,
+        flightrec_capacity=args.flightrec_capacity,
+        flightrec_dump=args.flightrec_dump,
     )
 
     async def _serve() -> None:
@@ -514,6 +521,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"repro service on {host}:{port} "
               f"(codecs: {', '.join(sorted(service.codecs))})",
               file=sys.stderr, flush=True)
+        if service.metrics_address is not None:
+            mhost, mport = service.metrics_address
+            print(f"metrics (Prometheus) on http://{mhost}:{mport}/metrics",
+                  file=sys.stderr, flush=True)
         try:
             await service.serve_forever()
         finally:
@@ -529,11 +540,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     """Drive a running daemon with a paced mixed workload.
 
-    Exit 1 when the wire contract broke (any protocol error), or when
-    ``--min-rps`` was given and achieved throughput fell below it.
+    Exit 1 when the wire contract broke (any protocol error), when
+    ``--min-rps`` was given and achieved throughput fell below it, or
+    when an SLO gate (``--slo-p99-ms`` / ``--max-error-rate``) was
+    breached.  ``--stats-json`` writes the full machine-readable report
+    (client percentiles plus the daemon's post-run stats document) for
+    CI artifacts.
     """
     from repro.service.client import wait_for_service
-    from repro.service.loadgen import find_saturation, run_loadgen
+    from repro.service.loadgen import (
+        find_saturation,
+        run_loadgen,
+        slo_breaches,
+        write_stats_json,
+    )
 
     if not wait_for_service(args.host, args.port, timeout=args.wait):
         print(f"no service at {args.host}:{args.port} "
@@ -565,6 +585,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             emit_json(report.to_dict())
         else:
             print_lines(report.format_lines(), empty="loadgen: nothing sent")
+    if args.stats_json is not None:
+        write_stats_json(report, args.stats_json)
     status = report_failures(
         report.protocol_errors,
         f"loadgen: {report.protocol_errors} protocol error(s) — "
@@ -576,7 +598,125 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"loadgen: achieved {report.achieved_rps:.1f} rps, "
             f"floor is {args.min_rps:.1f}",
         )
+    breaches = slo_breaches(
+        report,
+        p99_ms=args.slo_p99_ms,
+        max_error_rate=args.max_error_rate,
+    )
+    if args.slo_p99_ms is not None or args.max_error_rate is not None:
+        for breach in breaches:
+            print(f"SLO breach: {breach}", file=sys.stderr)
+        status |= report_failures(
+            len(breaches),
+            f"loadgen: {len(breaches)} SLO breach(es)",
+        )
     return status
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace requests end-to-end; print the timeline, export Chrome JSON.
+
+    Sends ``--repeat`` traced requests to a daemon (``--spawn`` runs an
+    in-process one), prints each server-side segment timeline, checks
+    it reconciles with the client-observed wire latency, and — with
+    ``--out`` — writes a Chrome trace-event JSON document
+    (``chrome://tracing`` / Perfetto loads it directly).
+    """
+    from repro.obs.clock import perf_seconds
+    from repro.obs.trace import (
+        annex_to_chrome_events,
+        chrome_trace_document,
+    )
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import OP_COMPRESS, OP_DECOMPRESS
+
+    server = None
+    host, port = args.host, args.port
+    if args.spawn:
+        from repro.service.server import ServerThread, ServiceConfig
+
+        server = ServerThread(ServiceConfig(port=0))
+        host, port = server.start()
+    op = OP_COMPRESS if args.op == "compress" else OP_DECOMPRESS
+    if args.payload_file is not None:
+        with open(args.payload_file, "rb") as handle:
+            payload = handle.read()
+    else:
+        code = generate_benchmark("compress", "mips", 0.2, args.seed).code
+        payload = code[: 4096 - (4096 % 4)]
+    events: List[dict] = []
+    status = 0
+    try:
+        with ServiceClient(host, port) as client:
+            for index in range(args.repeat):
+                trace_id = args.trace_id + index
+                started = perf_seconds()
+                response = client.request(
+                    op, args.codec, payload, trace_id=trace_id
+                )
+                wire_ms = (perf_seconds() - started) * 1000.0
+                annex = response.trace()
+                if annex is None:
+                    print(f"request {index}: reply carried no trace annex",
+                          file=sys.stderr)
+                    status = 1
+                    continue
+                total_ms = annex["total_ns"] / 1e6
+                segment_sum = sum(
+                    s["dur_ns"] for s in annex["segments"]
+                )
+                print(f"trace {annex['trace_id']:#018x}: "
+                      f"server {total_ms:.3f} ms inside "
+                      f"{wire_ms:.3f} ms wire latency")
+                for segment in annex["segments"]:
+                    print(f"  {segment['name']:<16} "
+                          f"+{segment['start_ns'] / 1e6:>9.3f} ms  "
+                          f"{segment['dur_ns'] / 1e6:>9.3f} ms")
+                for note in annex.get("annotations", ()):
+                    fields = ", ".join(
+                        f"{k}={v}" for k, v in sorted(note.items())
+                        if k not in ("name", "at_ns")
+                    )
+                    print(f"  @ {note['name']:<14} "
+                          f"+{note['at_ns'] / 1e6:>9.3f} ms  {fields}")
+                if segment_sum != annex["total_ns"]:
+                    print(f"  WARNING: segments sum to {segment_sum} ns, "
+                          f"total is {annex['total_ns']} ns",
+                          file=sys.stderr)
+                    status = 1
+                if total_ms > wire_ms:
+                    print("  WARNING: server total exceeds wire latency",
+                          file=sys.stderr)
+                    status = 1
+                events.extend(annex_to_chrome_events(
+                    annex, pid=1, tid=index + 1
+                ))
+    finally:
+        if server is not None:
+            server.stop()
+    if args.out is not None:
+        document = chrome_trace_document(events)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(events)} trace events to {args.out}")
+    return status
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a running daemon's ``stats`` op."""
+    from repro.service.top import run_top
+
+    try:
+        return run_top(
+            args.host,
+            args.port,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear_screen=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_compress_file(args: argparse.Namespace) -> int:
@@ -728,6 +868,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--port", type=int, default=None,
                       help="service target: daemon port")
     fuzz.add_argument("--format", choices=("text", "json"), default="text")
+    fuzz.add_argument("--flightrec-dump", default=None, metavar="PATH",
+                      help="service target: on failure, fetch the "
+                           "daemon's flight-recorder ring (DUMP op) and "
+                           "write the JSONL here (the CI artifact)")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     serve = sub.add_parser(
@@ -748,6 +892,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-connection in-flight request cap")
     serve.add_argument("--registry-entries", type=int, default=32,
                        help="warm SAMC model registry bound (LRU)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve Prometheus text exposition on this "
+                            "port (disabled by default)")
+    serve.add_argument("--flightrec-capacity", type=int, default=1024,
+                       metavar="N",
+                       help="flight-recorder ring size: last N "
+                            "request-lifecycle events (default 1024)")
+    serve.add_argument("--flightrec-dump", default=None, metavar="PATH",
+                       help="dump the flight-recorder ring (JSONL) here "
+                            "on every wire-protocol error")
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -776,7 +931,62 @@ def build_parser() -> argparse.ArgumentParser:
                               "the highest sustained rps")
     loadgen.add_argument("--format", choices=("text", "json"),
                          default="text")
+    loadgen.add_argument("--stats-json", default=None, metavar="PATH",
+                         help="write the machine-readable run report "
+                              "(client percentiles + the daemon's stats "
+                              "document) to this file")
+    loadgen.add_argument("--slo-p99-ms", type=float, default=None,
+                         metavar="MS",
+                         help="SLO gate: fail when client-observed p99 "
+                              "latency exceeds this many milliseconds")
+    loadgen.add_argument("--max-error-rate", type=float, default=None,
+                         metavar="FRACTION",
+                         help="SLO gate: fail when the error rate "
+                              "(service + protocol errors over sent) "
+                              "exceeds this fraction")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one request end-to-end; emit Chrome trace JSON",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=7341)
+    trace.add_argument("--spawn", action="store_true",
+                       help="run an in-process daemon instead of "
+                            "connecting to --host/--port")
+    trace.add_argument("--op", choices=("compress", "decompress"),
+                       default="compress")
+    trace.add_argument("--codec", default="gzipish")
+    trace.add_argument("--payload-file", default=None, metavar="PATH",
+                       help="request payload (default: a synthetic "
+                            "MIPS code image)")
+    trace.add_argument("--trace-id", type=int, default=1,
+                       help="client-stamped trace id of the first "
+                            "request (default 1; increments per repeat)")
+    trace.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="traced requests to send (default 1)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON document "
+                            "(chrome://tracing, Perfetto)")
+    trace.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a running daemon's stats op",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7341)
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="poll interval (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="render N frames then exit (default: run "
+                          "until interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+    top.set_defaults(func=_cmd_top)
 
     compress_file = sub.add_parser(
         "compress-file", help="compress any binary to the on-ROM format"
@@ -799,7 +1009,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # The consumer (e.g. `| head`) closed stdout early; that is its
+        # call, not an error.  Point stdout at devnull so the interpreter
+        # does not raise again while flushing at shutdown.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,198 @@
+"""The flight recorder: a bounded ring of request-lifecycle events.
+
+Post-mortems for the serving stack.  Aggregated telemetry answers "how
+is the service doing"; when a fuzz run hangs or a busy storm drops a
+connection, the question becomes "what were the last N things that
+happened", and counters cannot answer it.  The flight recorder can: a
+fixed-capacity ring buffer of structured events — every accepted
+request, reply, busy rejection, wire error, and internal failure, each
+stamped with a monotonic timestamp and a monotonically increasing
+sequence number — that costs O(capacity) memory forever and is dumped
+as JSONL on demand:
+
+* the service's ``DUMP`` wire op returns the ring to any client;
+* the server writes a dump file when a wire error trips it (see
+  ``ServiceConfig.flightrec_dump``);
+* the protocol fuzzer attaches a dump to every failing run, so a fuzz
+  failure in CI ships its own flight data as an artifact.
+
+Clock use is confined to :mod:`repro.obs` by design: events carry
+``monotonic_ns`` readings, and the determinism story is the same as the
+recorder's — timestamps are *data*, and every serialisation below
+iterates in insertion/sorted order so identical event sequences produce
+identical dumps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.clock import monotonic_ns
+
+#: Default ring capacity; one event is a small dict, so the default
+#: recorder holds the last ~1k lifecycle events in ~a few hundred KB.
+DEFAULT_CAPACITY = 1024
+
+#: Dump document schema version (the ``meta`` line of every dump).
+DUMP_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring buffer of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    def record(self, kind: str, **fields: object) -> None:
+        """Append one event; the oldest event falls off a full ring."""
+        with self._lock:
+            self._seq += 1
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            event: Dict[str, object] = {
+                "seq": self._seq,
+                "t_ns": monotonic_ns(),
+                "kind": kind,
+            }
+            for key in sorted(fields):
+                event[key] = fields[key]
+            self._ring.append(event)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (dropped ones included)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound."""
+        with self._lock:
+            return self._dropped
+
+    def events(self) -> List[Dict[str, object]]:
+        """Snapshot of the ring, oldest first (copies, safe to mutate)."""
+        with self._lock:
+            return [dict(event) for event in self._ring]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    # repro: contract determinism-sink
+    def dump_jsonl(self) -> str:
+        """The ring as JSONL: one ``meta`` line, then one line per event.
+
+        Key order inside each line is sorted and the event order is the
+        ring order, so two recorders holding the same event sequence
+        dump byte-identical documents.
+        """
+        import json
+
+        with self._lock:
+            events = [dict(event) for event in self._ring]
+            meta = {
+                "meta": DUMP_VERSION,
+                "capacity": self.capacity,
+                "recorded": self._seq,
+                "dropped": self._dropped,
+                "events": len(events),
+            }
+        lines = [json.dumps(meta, sort_keys=True)]
+        lines.extend(json.dumps(event, sort_keys=True) for event in events)
+        return "\n".join(lines) + "\n"
+
+    def dump_to(self, path: str) -> str:
+        """Write :meth:`dump_jsonl` to ``path``; returns the path."""
+        data = self.dump_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(data)
+        return path
+
+
+class NullFlightRecorder:
+    """Disabled recorder: every operation is a no-op, dumps are empty."""
+
+    capacity = 0
+    recorded = 0
+    dropped = 0
+
+    def record(self, kind: str, **fields: object) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def events(self) -> List[Dict[str, object]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def dump_jsonl(self) -> str:
+        import json
+
+        return json.dumps({
+            "meta": DUMP_VERSION, "capacity": 0, "recorded": 0,
+            "dropped": 0, "events": 0,
+        }, sort_keys=True) + "\n"
+
+    def dump_to(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dump_jsonl())
+        return path
+
+
+def parse_dump(data: str) -> Dict[str, object]:
+    """Parse a JSONL dump back into ``{"meta": ..., "events": [...]}``.
+
+    Raises ``ValueError`` on a malformed document — the shape check the
+    fuzz artifacts and tests rely on.
+    """
+    import json
+
+    lines = [line for line in data.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty flight-recorder dump")
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise ValueError(f"bad dump meta line: {error}") from error
+    if not isinstance(meta, dict) or "meta" not in meta:
+        raise ValueError("first dump line is not a meta record")
+    events = []
+    for index, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"bad dump line {index}: {error}") from error
+        if not isinstance(event, dict) or "seq" not in event:
+            raise ValueError(f"dump line {index} is not an event record")
+        events.append(event)
+    if meta.get("events") != len(events):
+        raise ValueError(
+            f"dump meta declares {meta.get('events')} events, "
+            f"found {len(events)}"
+        )
+    return {"meta": meta, "events": events}
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DUMP_VERSION",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "parse_dump",
+]

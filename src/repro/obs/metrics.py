@@ -37,17 +37,32 @@ def bucket_bounds(index: int) -> tuple:
 
 
 def new_histogram() -> Dict[str, object]:
-    """An empty histogram cell (buckets keyed by int index)."""
-    return {"buckets": {}, "count": 0, "total": 0}
+    """An empty histogram cell (buckets keyed by int index).
+
+    ``overflow`` counts observations beyond the cap bucket's range
+    (``>= 2**BUCKET_CAP``) that were clamped into it; ``underflow``
+    counts negative observations clamped into bucket 0.  Both are kept
+    explicitly so saturation is *visible* — a clamped observation still
+    lands in a bucket (count/total stay exact), but quantiles drawn
+    from a saturated edge bucket can be flagged instead of silently
+    reported as in-range values.
+    """
+    return {"buckets": {}, "count": 0, "total": 0,
+            "overflow": 0, "underflow": 0}
 
 
 def observe(histogram: Dict[str, object], value: int) -> None:
     """Record one observation into a histogram cell."""
     buckets = histogram["buckets"]
+    value = int(value)
     index = bucket_index(value)
+    if value < 0:
+        histogram["underflow"] = histogram.get("underflow", 0) + 1
+    elif value > 0 and value.bit_length() > BUCKET_CAP:
+        histogram["overflow"] = histogram.get("overflow", 0) + 1
     buckets[index] = buckets.get(index, 0) + 1
     histogram["count"] += 1
-    histogram["total"] += int(value)
+    histogram["total"] += value
 
 
 def histogram_quantile(histogram: Dict[str, object], q: float) -> int:
@@ -58,25 +73,55 @@ def histogram_quantile(histogram: Dict[str, object], q: float) -> int:
     conservative (never under-reporting) estimate, exact to within the
     power-of-two bucket width.  This is what turns the service's
     latency histograms into the p50/p99 figures ``repro serve`` reports.
+
+    When the quantile lands in a *saturated* bucket — the cap bucket
+    with clamped overflow observations, or bucket 0 with clamped
+    underflow — the returned edge is a lower bound, not an estimate;
+    :func:`quantile_saturated` reports that condition and
+    :func:`summarize_histogram` surfaces it as a ``saturated`` flag.
     """
+    return _quantile_bucket(histogram, q)[0]
+
+
+def quantile_saturated(histogram: Dict[str, object], q: float) -> bool:
+    """True when the ``q``-quantile falls in a bucket that clamped."""
+    return _quantile_bucket(histogram, q)[1]
+
+
+def _quantile_bucket(histogram: Dict[str, object], q: float):
+    """(quantile value, landed-in-a-saturated-bucket) for one cell."""
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
     count = histogram["count"]
     if count == 0:
-        return 0
+        return 0, False
     rank = max(1, min(count, math.ceil(count * q)))
     seen = 0
     last = 0
+    landed = None
     for index in sorted(int(i) for i in histogram["buckets"]):
         seen += histogram["buckets"][index]
         last = index
         if seen >= rank:
-            return bucket_bounds(index)[1] - 1
-    return bucket_bounds(last)[1] - 1
+            landed = index
+            break
+    if landed is None:
+        landed = last
+    saturated = (
+        (landed >= BUCKET_CAP and histogram.get("overflow", 0) > 0)
+        or (landed == 0 and histogram.get("underflow", 0) > 0)
+    )
+    return bucket_bounds(landed)[1] - 1, saturated
 
 
-def summarize_histogram(histogram: Dict[str, object]) -> Dict[str, int]:
-    """Count / mean / p50 / p95 / p99 summary of one histogram cell."""
+def summarize_histogram(histogram: Dict[str, object]) -> Dict[str, object]:
+    """Count / mean / p50 / p95 / p99 summary of one histogram cell.
+
+    ``saturated`` is true when any reported quantile landed in a bucket
+    that clamped observations (overflow past the cap bucket, or
+    negative underflow) — the signal that the percentile column is a
+    bound, not an estimate.
+    """
     count = histogram["count"]
     return {
         "count": count,
@@ -84,6 +129,9 @@ def summarize_histogram(histogram: Dict[str, object]) -> Dict[str, int]:
         "p50": histogram_quantile(histogram, 0.50),
         "p95": histogram_quantile(histogram, 0.95),
         "p99": histogram_quantile(histogram, 0.99),
+        "saturated": any(
+            quantile_saturated(histogram, q) for q in (0.50, 0.95, 0.99)
+        ),
     }
 
 
@@ -95,6 +143,10 @@ def merge_histogram(into: Dict[str, object], other: Dict[str, object]) -> None:
         buckets[index] = buckets.get(index, 0) + count
     into["count"] += other["count"]
     into["total"] += other["total"]
+    # .get for both sides: snapshots serialised before the saturation
+    # counters existed merge as zero.
+    into["overflow"] = into.get("overflow", 0) + other.get("overflow", 0)
+    into["underflow"] = into.get("underflow", 0) + other.get("underflow", 0)
 
 
 __all__ = [
@@ -105,5 +157,6 @@ __all__ = [
     "merge_histogram",
     "new_histogram",
     "observe",
+    "quantile_saturated",
     "summarize_histogram",
 ]

@@ -1,0 +1,172 @@
+"""Prometheus text-format exposition of a telemetry snapshot.
+
+Renders every counter, gauge, and histogram of a
+:meth:`repro.obs.recorder.Recorder.snapshot` in the Prometheus text
+exposition format (version 0.0.4) — what ``repro serve
+--metrics-port`` serves at ``/metrics`` and what the CI obs job
+scrapes.  The mapping:
+
+* counters → ``counter`` samples, ``repro_`` prefixed, dots and other
+  non-metric characters folded to underscores;
+* gauges → ``gauge`` samples (the recorder's gauges are high-water
+  marks; the HELP line says so);
+* histograms → classic Prometheus cumulative histograms: one
+  ``_bucket{le="..."}`` sample per occupied fixed exponential bucket
+  (upper edge inclusive, matching :func:`repro.obs.metrics
+  .bucket_bounds`), a ``+Inf`` bucket, ``_sum`` and ``_count``, plus a
+  ``_overflow_total`` counter when saturated observations clamped.
+
+Determinism: metric families and samples are emitted in sorted order,
+so two snapshots with equal contents render byte-identically — pinned
+by the exposition-format tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.metrics import bucket_bounds
+
+#: Exposition content type (text format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PREFIX = "repro_"
+
+
+def metric_name(name: str) -> str:
+    """Fold a recorder metric name into a legal Prometheus name."""
+    out = []
+    for char in name:
+        if char.isalnum() or char == "_":
+            out.append(char)
+        else:
+            out.append("_")
+    folded = "".join(out)
+    if folded and folded[0].isdigit():
+        folded = "_" + folded
+    return _PREFIX + folded
+
+
+# repro: contract determinism-sink
+def prometheus_exposition(snapshot: Dict[str, object]) -> str:
+    """Render one snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        metric = metric_name(name) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(counters[name])}")
+
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        metric = metric_name(name)
+        lines.append(f"# HELP {metric} repro high-water gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]}")
+
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        cell = histograms[name]
+        metric = metric_name(name)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        # Bucket keys may be ints (live cells) or strings (cells that
+        # crossed a JSON boundary); normalise before sorting.
+        buckets = {int(i): c for i, c in cell["buckets"].items()}
+        for index in sorted(buckets):
+            cumulative += buckets[index]
+            upper = bucket_bounds(index)[1] - 1
+            lines.append(
+                f'{metric}_bucket{{le="{upper}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cell["count"]}')
+        lines.append(f"{metric}_sum {int(cell['total'])}")
+        lines.append(f"{metric}_count {cell['count']}")
+        overflow = int(cell.get("overflow", 0))
+        if overflow:
+            lines.append(f"# TYPE {metric}_overflow_total counter")
+            lines.append(f"{metric}_overflow_total {overflow}")
+        underflow = int(cell.get("underflow", 0))
+        if underflow:
+            lines.append(f"# TYPE {metric}_underflow_total counter")
+            lines.append(f"{metric}_underflow_total {underflow}")
+
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Schema-check an exposition document; returns the defects found.
+
+    Not a full Prometheus parser — it pins what the format guarantees:
+    every ``# TYPE`` names a known type, every sample line is
+    ``name[{labels}] value`` with a parseable value, every sample
+    belongs to a typed family, and histogram cumulative buckets are
+    monotone with a ``+Inf`` bucket equal to ``_count``.  The CI obs
+    job runs this against a live scrape.
+    """
+    defects: List[str] = []
+    types: Dict[str, str] = {}
+    buckets: Dict[str, List[float]] = {}
+    counts: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                defects.append(f"line {lineno}: malformed TYPE line")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        name, _, rest = line.partition(" ")
+        if not name or not rest:
+            defects.append(f"line {lineno}: malformed sample line")
+            continue
+        bare = name.partition("{")[0]
+        try:
+            value = float(rest.split()[0])
+        except ValueError:
+            defects.append(f"line {lineno}: unparseable value {rest!r}")
+            continue
+        family = bare
+        for suffix in ("_bucket", "_sum", "_count"):
+            if bare.endswith(suffix):
+                family = bare[: -len(suffix)]
+                break
+        if bare not in types and family not in types:
+            defects.append(f"line {lineno}: sample {bare} has no TYPE")
+        if bare.endswith("_bucket") and 'le="' in name:
+            edge = name.split('le="', 1)[1].split('"', 1)[0]
+            upper = float("inf") if edge == "+Inf" else float(edge)
+            series = buckets.setdefault(family, [])
+            series.append(value)
+            if len(series) >= 2 and series[-1] < series[-2]:
+                defects.append(
+                    f"line {lineno}: bucket le={edge} not cumulative"
+                )
+            del upper
+        if bare.endswith("_count"):
+            counts[family] = value
+    for family, series in sorted(buckets.items()):
+        expected = counts.get(family)
+        if expected is not None and series and series[-1] != expected:
+            defects.append(
+                f"histogram {family}: +Inf bucket {series[-1]} != "
+                f"count {expected}"
+            )
+    return defects
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "metric_name",
+    "prometheus_exposition",
+    "validate_exposition",
+]

@@ -261,6 +261,8 @@ class Recorder:
                         "buckets": dict(cell["buckets"]),
                         "count": cell["count"],
                         "total": cell["total"],
+                        "overflow": cell.get("overflow", 0),
+                        "underflow": cell.get("underflow", 0),
                     }
                     for name, cell in self.histograms.items()
                 },

@@ -127,6 +127,8 @@ def stats_document(snapshot: Dict[str, object]) -> Dict[str, object]:
                 },
                 "count": cell["count"],
                 "total": cell["total"],
+                "overflow": cell.get("overflow", 0),
+                "underflow": cell.get("underflow", 0),
             }
             for name, cell in snapshot.get("histograms", {}).items()
         },

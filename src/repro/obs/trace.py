@@ -1,0 +1,284 @@
+"""Request-scoped trace contexts and Chrome trace-event export.
+
+Where :mod:`repro.obs.recorder` *aggregates* spans by path (the right
+shape for fleet-wide telemetry), this module records **one request's
+timeline**: an ordered sequence of named segments on a monotonic clock,
+cheap enough to build per traced request and small enough to ship back
+to the client inside the wire response.
+
+The model is deliberately exact: a :class:`TraceContext` starts at an
+origin timestamp and every :meth:`~TraceContext.mark` *closes* the
+segment that began at the previous boundary.  Segment durations are
+differences of the same monotonic readings, so they partition the
+timeline with no gaps and no overlaps — ``sum(dur) == last_mark -
+origin`` holds as integer arithmetic, which is what lets the service
+tests reconcile a server timeline against client-observed wire latency.
+
+Sub-systems that run *under* a traced request but do not know about the
+request object (the warm model registry, codec adapters) annotate the
+timeline through the thread-local activation API: the executor binds
+the active contexts with :func:`activate`, and :func:`trace_annotate` /
+:func:`trace_event` append point events to every active context.
+
+:func:`chrome_trace_document` renders either per-request timelines or
+an aggregated recorder span tree as Chrome trace-event JSON (the
+``chrome://tracing`` / Perfetto "JSON Array Format"), which is what
+``python -m repro trace`` emits.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.clock import monotonic_ns
+
+#: Schema version of the wire trace annex (the JSON document a traced
+#: response carries).
+TRACE_ANNEX_VERSION = 1
+
+_active = threading.local()
+
+
+class TraceContext:
+    """One request's timeline: ordered exact segments plus annotations.
+
+    ``origin_ns`` anchors the timeline (the server's receive
+    timestamp); every mark closes the segment since the previous
+    boundary.  ``annotations`` are point events (registry hit/train,
+    codec names) stamped with their offset from the origin.
+    """
+
+    __slots__ = ("trace_id", "origin_ns", "segments", "annotations", "_last_ns")
+
+    def __init__(self, trace_id: int, origin_ns: Optional[int] = None) -> None:
+        self.trace_id = trace_id
+        self.origin_ns = monotonic_ns() if origin_ns is None else origin_ns
+        self._last_ns = self.origin_ns
+        self.segments: List[Dict[str, int]] = []
+        self.annotations: List[Dict[str, object]] = []
+
+    def mark(self, segment_name: str, now_ns: Optional[int] = None) -> None:
+        """Close the segment that started at the previous boundary."""
+        now = monotonic_ns() if now_ns is None else now_ns
+        if now < self._last_ns:  # monotonic clocks should forbid this,
+            now = self._last_ns  # but never emit a negative duration
+        self.segments.append({
+            "name": segment_name,
+            "start_ns": self._last_ns - self.origin_ns,
+            "dur_ns": now - self._last_ns,
+        })
+        self._last_ns = now
+
+    def annotate(self, name: str, **fields: object) -> None:
+        """Append a point event at the current clock reading."""
+        event: Dict[str, object] = {
+            "name": name,
+            "at_ns": monotonic_ns() - self.origin_ns,
+        }
+        for key in sorted(fields):
+            event[key] = fields[key]
+        self.annotations.append(event)
+
+    @property
+    def total_ns(self) -> int:
+        """Exact sum of all closed segments (== span of the timeline)."""
+        return self._last_ns - self.origin_ns
+
+    def to_annex(self) -> Dict[str, object]:
+        """The JSON document embedded in a traced wire response."""
+        return {
+            "version": TRACE_ANNEX_VERSION,
+            "trace_id": self.trace_id,
+            "total_ns": self.total_ns,
+            "segments": list(self.segments),
+            "annotations": list(self.annotations),
+        }
+
+
+# -- thread-local activation -------------------------------------------------
+
+def active_traces() -> List[TraceContext]:
+    """The trace contexts bound to this thread (empty when untraced)."""
+    return getattr(_active, "contexts", [])
+
+
+@contextmanager
+def activate(contexts: Sequence[TraceContext]):
+    """Bind ``contexts`` as this thread's active traces for a block.
+
+    The service executor activates every traced member of a request
+    group around the codec call, so annotations from shared machinery
+    (one registry lookup serving the whole group) land on each traced
+    request's timeline.
+    """
+    previous = getattr(_active, "contexts", [])
+    _active.contexts = list(contexts)
+    try:
+        yield
+    finally:
+        _active.contexts = previous
+
+
+def trace_annotate(name: str, **fields: object) -> None:
+    """Annotate every active trace context (no-op when none are)."""
+    contexts = getattr(_active, "contexts", [])
+    for context in contexts:
+        context.annotate(name, **fields)
+
+
+@contextmanager
+def trace_event(name: str):
+    """Time a region as an annotation on every active trace context."""
+    contexts = getattr(_active, "contexts", [])
+    if not contexts:
+        yield
+        return
+    started = monotonic_ns()
+    try:
+        yield
+    finally:
+        elapsed = monotonic_ns() - started
+        for context in contexts:
+            context.annotate(name, dur_ns=elapsed)
+
+
+# -- Chrome trace-event export -----------------------------------------------
+
+def parse_annex(data: bytes) -> Dict[str, object]:
+    """Parse and shape-check a wire trace annex; raises ``ValueError``."""
+    import json
+
+    try:
+        annex = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"trace annex is not valid JSON: {error}") from error
+    if not isinstance(annex, dict):
+        raise ValueError("trace annex must be a JSON object")
+    for key in ("version", "trace_id", "total_ns", "segments"):
+        if key not in annex:
+            raise ValueError(f"trace annex missing {key!r}")
+    return annex
+
+
+def annex_to_chrome_events(
+    annex: Dict[str, object],
+    pid: int = 1,
+    tid: int = 1,
+    origin_us: float = 0.0,
+) -> List[Dict[str, object]]:
+    """One traced request's annex as Chrome ``X``-phase trace events."""
+    events: List[Dict[str, object]] = [{
+        "name": f"request trace_id={annex.get('trace_id', 0)}",
+        "cat": "request",
+        "ph": "X",
+        "ts": origin_us,
+        "dur": int(annex.get("total_ns", 0)) / 1000.0,
+        "pid": pid,
+        "tid": tid,
+    }]
+    for segment in annex.get("segments", []):
+        events.append({
+            "name": str(segment["name"]),
+            "cat": "segment",
+            "ph": "X",
+            "ts": origin_us + int(segment["start_ns"]) / 1000.0,
+            "dur": int(segment["dur_ns"]) / 1000.0,
+            "pid": pid,
+            "tid": tid,
+        })
+    for note in annex.get("annotations", []):
+        event: Dict[str, object] = {
+            "name": str(note.get("name", "annotation")),
+            "cat": "annotation",
+            "ph": "i",
+            "s": "t",
+            "ts": origin_us + int(note.get("at_ns", 0)) / 1000.0,
+            "pid": pid,
+            "tid": tid,
+        }
+        args = {
+            key: value for key, value in sorted(note.items())
+            if key not in ("name", "at_ns")
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def spans_to_chrome_events(
+    spans: Dict[str, Dict[str, int]],
+    pid: int = 1,
+    tid: int = 1,
+) -> List[Dict[str, object]]:
+    """An aggregated recorder span tree as a synthetic Chrome timeline.
+
+    Aggregated spans have no real start times, so the layout is
+    synthetic but structure-preserving: siblings are laid out
+    sequentially by total time (heaviest first) and children start at
+    their parent's start — nesting in the viewer mirrors nesting in the
+    recorded span paths, and widths are the real total durations.
+    """
+    children: Dict[str, List[str]] = {}
+    roots: List[str] = []
+    for path in spans:
+        parent, _, _leaf = path.rpartition("/")
+        if parent and parent in spans:
+            children.setdefault(parent, []).append(path)
+        else:
+            roots.append(path)
+
+    events: List[Dict[str, object]] = []
+
+    def total(path: str) -> int:
+        return spans[path]["total_ns"]
+
+    def emit(path: str, start_us: float) -> None:
+        cell = spans[path]
+        events.append({
+            "name": path.rpartition("/")[2],
+            "cat": "span",
+            "ph": "X",
+            "ts": start_us,
+            "dur": cell["total_ns"] / 1000.0,
+            "pid": pid,
+            "tid": tid,
+            "args": {"count": cell["count"]},
+        })
+        child_start = start_us
+        for child in sorted(children.get(path, ()), key=total, reverse=True):
+            emit(child, child_start)
+            child_start += spans[child]["total_ns"] / 1000.0
+
+    cursor = 0.0
+    for root in sorted(roots, key=total, reverse=True):
+        emit(root, cursor)
+        cursor += spans[root]["total_ns"] / 1000.0
+    return events
+
+
+def chrome_trace_document(
+    events: Iterable[Dict[str, object]],
+) -> Dict[str, object]:
+    """Wrap events in the Chrome trace-event JSON object form."""
+    return {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro trace"},
+    }
+
+
+__all__ = [
+    "TRACE_ANNEX_VERSION",
+    "TraceContext",
+    "activate",
+    "active_traces",
+    "annex_to_chrome_events",
+    "chrome_trace_document",
+    "parse_annex",
+    "spans_to_chrome_events",
+    "trace_annotate",
+    "trace_event",
+]

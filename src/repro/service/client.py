@@ -24,6 +24,7 @@ from repro.service import protocol
 from repro.service.protocol import (
     OP_COMPRESS,
     OP_DECOMPRESS,
+    OP_DUMP,
     OP_HEALTH,
     OP_STATS,
     Request,
@@ -116,11 +117,23 @@ class ServiceClient:
     # -- request/response ----------------------------------------------
 
     def request(
-        self, op: int, codec: str = "", payload: bytes = b""
+        self,
+        op: int,
+        codec: str = "",
+        payload: bytes = b"",
+        trace_id: Optional[int] = None,
     ) -> Response:
+        """One request/response exchange.
+
+        Passing ``trace_id`` stamps the request as *traced*: the server
+        threads a span timeline through its pipeline and embeds it in
+        the reply's trace annex (``response.trace()``).
+        """
         request_id = next(self._ids)
         body = protocol.encode_request(Request(
-            op=op, request_id=request_id, codec=codec, payload=payload
+            op=op, request_id=request_id, codec=codec, payload=payload,
+            traced=trace_id is not None,
+            trace_id=trace_id if trace_id is not None else 0,
         ))
         self._sock.sendall(protocol.pack_message(body))
         response = recv_response(self._sock)
@@ -156,6 +169,10 @@ class ServiceClient:
 
         return json.loads(self._checked(self.request(OP_HEALTH)).payload)
 
+    def dump(self) -> bytes:
+        """The server's flight-recorder ring, dumped as JSONL bytes."""
+        return self._checked(self.request(OP_DUMP)).payload
+
 
 class AsyncServiceClient:
     """Asyncio client; one in-flight request per instance."""
@@ -173,11 +190,17 @@ class AsyncServiceClient:
         return cls(reader, writer)
 
     async def request(
-        self, op: int, codec: str = "", payload: bytes = b""
+        self,
+        op: int,
+        codec: str = "",
+        payload: bytes = b"",
+        trace_id: Optional[int] = None,
     ) -> Response:
         request_id = next(self._ids)
         body = protocol.encode_request(Request(
-            op=op, request_id=request_id, codec=codec, payload=payload
+            op=op, request_id=request_id, codec=codec, payload=payload,
+            traced=trace_id is not None,
+            trace_id=trace_id if trace_id is not None else 0,
         ))
         self._writer.write(protocol.pack_message(body))
         await self._writer.drain()

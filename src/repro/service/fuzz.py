@@ -60,6 +60,8 @@ class ServiceFuzzReport:
     hangs: int = 0
     max_reply_seconds: float = 0.0
     failures: List[str] = field(default_factory=list)
+    #: Path the server's flight-recorder dump was written to on failure.
+    flight_dump: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -82,6 +84,7 @@ class ServiceFuzzReport:
             "hangs": self.hangs,
             "max_reply_ms": round(self.max_reply_seconds * 1000, 1),
             "failures": list(self.failures),
+            "flight_dump": self.flight_dump,
             "ok": self.ok,
         }
 
@@ -101,6 +104,8 @@ class ServiceFuzzReport:
         ]
         for failure in self.failures:
             lines.append(f"  FAILURE: {failure}")
+        if self.flight_dump:
+            lines.append(f"  flight-recorder dump: {self.flight_dump}")
         return lines
 
 
@@ -144,7 +149,10 @@ def _case_unknown_op(rng: random.Random) -> bytes:
         op=OP_COMPRESS, request_id=rng.randrange(1, 1 << 31),
         codec="gzipish", payload=b"x",
     )))
-    body[0] = rng.choice((0, 5, 77, 255))
+    # 0x80 is the trace flag: 0x80 alone claims "traced op 0" and 255
+    # "traced op 127" — both must be rejected as unknown ops, not
+    # tripped over while parsing the trace header.
+    body[0] = rng.choice((0, 9, 77, 128, 255))
     return pack_message(bytes(body))
 
 
@@ -188,6 +196,49 @@ def _case_empty_message(rng: random.Random) -> bytes:
     return protocol._LENGTH.pack(rng.randrange(0, 14)) + b"\x00" * 13
 
 
+def _case_traced_probe(rng: random.Random) -> bytes:
+    # A valid traced request with an adversarial trace id (zero, the
+    # u64 extremes, or random garbage): any u64 is a legal id, so the
+    # server must accept, execute, and echo it — never choke on the
+    # extra header.  (The byte-for-byte echo is asserted by the
+    # regression tests; here the contract is "traced == still OK".)
+    payload = bytes(rng.randrange(256) for _ in range(rng.randrange(16, 96)))
+    return pack_message(encode_request(Request(
+        op=OP_COMPRESS,
+        request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish",
+        payload=payload,
+        traced=True,
+        trace_id=rng.choice((
+            0, 1, (1 << 64) - 1, rng.getrandbits(64),
+        )),
+    )))
+
+
+def _case_trace_flag_on_malformed(rng: random.Random) -> bytes:
+    # Set the trace flag on a frame encoded *untraced*: the parser now
+    # reads the codec length and payload length from what used to be
+    # codec/payload bytes — a schema violation it must reject
+    # structurally, not by hanging or leaking an exception.
+    body = bytearray(encode_request(Request(
+        op=rng.choice((OP_COMPRESS, OP_DECOMPRESS)),
+        request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish",
+        payload=bytes(rng.randrange(256) for _ in range(rng.randrange(32))),
+    )))
+    body[0] |= protocol.FLAG_TRACED
+    return pack_message(bytes(body))
+
+
+def _case_traced_truncated(rng: random.Random) -> bytes:
+    # A traced header that stops mid-trace-id: shorter than the 14-byte
+    # minimum a traced request needs.
+    stub = bytes([OP_COMPRESS | protocol.FLAG_TRACED]) + bytes(
+        rng.randrange(256) for _ in range(rng.randrange(0, 13))
+    )
+    return pack_message(stub)
+
+
 CASES: List[Tuple[str, Callable[[random.Random], bytes], str]] = [
     ("garbage", _case_garbage, EXPECT_ERROR),
     ("truncated", _case_truncated, EXPECT_ERROR),
@@ -199,7 +250,10 @@ CASES: List[Tuple[str, Callable[[random.Random], bytes], str]] = [
     ("length-mismatch", _case_length_mismatch, EXPECT_ERROR),
     ("invalid-compress", _case_invalid_compress, EXPECT_ERROR),
     ("corrupt-archive", _case_corrupt_archive, EXPECT_ERROR),
+    ("trace-flag-malformed", _case_trace_flag_on_malformed, EXPECT_ERROR),
+    ("traced-truncated", _case_traced_truncated, EXPECT_ERROR),
     ("valid-probe", _valid_request, EXPECT_OK),
+    ("traced-probe", _case_traced_probe, EXPECT_OK),
 ]
 
 
@@ -273,14 +327,43 @@ def _one_iteration(
             pass
 
 
+def fetch_flight_dump(
+    address: Tuple[str, int], path: str, timeout: float = 10.0
+) -> bool:
+    """Pull the daemon's flight-recorder ring (DUMP op) to ``path``.
+
+    The post-mortem hook: when a fuzz run fails, the last ~thousand
+    request-lifecycle events the server saw — including the wire errors
+    the failing case provoked — land next to the failure report.
+    Best-effort; a daemon that cannot even answer DUMP is itself the
+    finding.
+    """
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(address[0], address[1], timeout=timeout) as cli:
+            dump = cli.dump()
+    except (OSError, CorruptedStreamError, RuntimeError, ValueError):
+        return False
+    with open(path, "wb") as handle:
+        handle.write(dump)
+    return True
+
+
 def run_service_fuzz(
     seed: int,
     iters: int,
     host: Optional[str] = None,
     port: Optional[int] = None,
     time_budget: float = DEFAULT_TIME_BUDGET,
+    dump_path: Optional[str] = None,
 ) -> ServiceFuzzReport:
-    """Fuzz a daemon; spins up an in-process one when no address given."""
+    """Fuzz a daemon; spins up an in-process one when no address given.
+
+    With ``dump_path`` set, a failing run fetches the server's flight
+    recorder via the DUMP op and writes the JSONL there (CI uploads it
+    as the failure artifact).
+    """
     rng = random.Random(seed)
     report = ServiceFuzzReport(seed=seed)
     server = None
@@ -300,6 +383,9 @@ def run_service_fuzz(
             _one_iteration(
                 address, label, data, expect, time_budget, report
             )
+        if dump_path and not report.ok:
+            if fetch_flight_dump(address, dump_path):
+                report.flight_dump = dump_path
     finally:
         if server is not None:
             server.stop()
@@ -310,5 +396,6 @@ __all__ = [
     "CASES",
     "DEFAULT_TIME_BUDGET",
     "ServiceFuzzReport",
+    "fetch_flight_dump",
     "run_service_fuzz",
 ]

@@ -229,6 +229,46 @@ class LoadgenReport:
         return lines
 
 
+def slo_breaches(
+    report: LoadgenReport,
+    p99_ms: Optional[float] = None,
+    max_error_rate: Optional[float] = None,
+) -> List[str]:
+    """Which SLOs this run breached (empty == the gate passes).
+
+    The gate is what CI runs after a loadgen burst: a breach message per
+    violated objective, human-readable and stable enough to grep.
+    Protocol errors always breach — no error budget covers a broken
+    wire contract.
+    """
+    breaches: List[str] = []
+    if report.protocol_errors:
+        breaches.append(
+            f"protocol errors: {report.protocol_errors} (budget: 0)"
+        )
+    if p99_ms is not None:
+        observed = report.percentile_ms(0.99)
+        if observed > p99_ms:
+            breaches.append(
+                f"latency p99 {observed:.2f} ms > SLO {p99_ms:.2f} ms"
+            )
+    if max_error_rate is not None and report.error_rate > max_error_rate:
+        breaches.append(
+            f"error rate {report.error_rate:.4f} > "
+            f"budget {max_error_rate:.4f}"
+        )
+    return breaches
+
+
+def write_stats_json(report: LoadgenReport, path: str) -> None:
+    """Write the run's machine-readable report (for CI artifacts)."""
+    document = dict(report.to_dict())
+    document["service_stats"] = report.service_stats
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 async def _worker(
     host: str,
     port: int,
@@ -403,4 +443,6 @@ __all__ = [
     "build_workload",
     "find_saturation",
     "run_loadgen",
+    "slo_breaches",
+    "write_stats_json",
 ]

@@ -22,6 +22,23 @@ Response body::
     status OK:    u32 payload_len | payload
     status else:  u8 category_len | category | u16 message_len | message
 
+**Tracing** is an optional, backwards-compatible extension: the high
+bit of the op byte (:data:`FLAG_TRACED`) marks a traced message.  A
+traced request inserts a client-stamped ``u64 trace_id`` between the op
+byte and the rest of the header::
+
+    u8 (op|0x80) | u64 trace_id | u32 request_id | u8 codec_len | ...
+
+and the matching traced response appends a trace annex — a JSON
+timeline of server-side segments (see :mod:`repro.obs.trace`) — after
+the normal body::
+
+    ... normal response body ... | u32 trace_len | trace JSON
+
+Untagged frames never carry either field, so pre-trace clients and
+servers interoperate with traced ones unchanged; a server only sets
+the flag on a response when the request asked for it.
+
 ``request_id`` is an opaque client token echoed in the response, so a
 client may pipeline requests on one connection and match replies out of
 order (the server batches, which can reorder).  Parse failures raise
@@ -60,14 +77,19 @@ OP_COMPRESS = 1
 OP_DECOMPRESS = 2
 OP_STATS = 3
 OP_HEALTH = 4
+OP_DUMP = 5
 
-OPS = frozenset({OP_COMPRESS, OP_DECOMPRESS, OP_STATS, OP_HEALTH})
+OPS = frozenset({OP_COMPRESS, OP_DECOMPRESS, OP_STATS, OP_HEALTH, OP_DUMP})
 OP_NAMES = {
     OP_COMPRESS: "compress",
     OP_DECOMPRESS: "decompress",
     OP_STATS: "stats",
     OP_HEALTH: "health",
+    OP_DUMP: "dump",
 }
+
+#: High bit of the op byte: this message carries trace fields.
+FLAG_TRACED = 0x80
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -103,17 +125,28 @@ class WireError(CorruptedStreamError):
 
 @dataclass(frozen=True)
 class Request:
-    """One decoded service request."""
+    """One decoded service request.
+
+    ``traced`` requests carry a client-stamped ``trace_id`` and are
+    answered with a traced response (the server's span timeline
+    embedded as an annex).
+    """
 
     op: int
     request_id: int
     codec: str = ""
     payload: bytes = b""
+    traced: bool = False
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
 class Response:
-    """One decoded service response."""
+    """One decoded service response.
+
+    ``trace_json`` is the raw trace annex of a traced response (empty
+    when untraced); :meth:`trace` parses it.
+    """
 
     op: int
     status: int
@@ -121,10 +154,20 @@ class Response:
     payload: bytes = b""
     category: str = ""
     message: str = ""
+    traced: bool = False
+    trace_json: bytes = b""
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    def trace(self) -> Optional[dict]:
+        """The parsed trace annex, or ``None`` on an untraced reply."""
+        if not self.traced or not self.trace_json:
+            return None
+        from repro.obs.trace import parse_annex
+
+        return parse_annex(self.trace_json)
 
 
 def error_response(
@@ -152,8 +195,19 @@ def encode_request(request: Request) -> bytes:
         raise ValueError("codec name exceeds 255 bytes")
     if not 0 <= request.request_id <= 0xFFFFFFFF:
         raise ValueError("request_id must fit in a u32")
+    if request.traced:
+        if not 0 <= request.trace_id <= 0xFFFFFFFFFFFFFFFF:
+            raise ValueError("trace_id must fit in a u64")
+        head = struct.pack(
+            ">BQIB", request.op | FLAG_TRACED, request.trace_id,
+            request.request_id, len(codec),
+        )
+    else:
+        head = struct.pack(
+            ">BIB", request.op, request.request_id, len(codec)
+        )
     return b"".join((
-        struct.pack(">BIB", request.op, request.request_id, len(codec)),
+        head,
         codec,
         _LENGTH.pack(len(request.payload)),
         request.payload,
@@ -164,20 +218,41 @@ def encode_request(request: Request) -> bytes:
 def decode_request(body: bytes) -> Request:
     """Parse a request body; raises :class:`WireError` on any defect."""
     with decode_guard("service.decode_request"):
-        if len(body) < 6:
+        if len(body) < 1:
             raise WireError(
-                f"request header needs 6 bytes, got {len(body)}",
-                offset=len(body),
+                "empty request body",
+                offset=0,
                 category=CATEGORY_TRUNCATED,
             )
-        op, request_id, codec_len = struct.unpack_from(">BIB", body)
+        traced = bool(body[0] & FLAG_TRACED)
+        trace_id = 0
+        if traced:
+            if len(body) < 14:
+                raise WireError(
+                    f"traced request header needs 14 bytes, got {len(body)}",
+                    offset=len(body),
+                    category=CATEGORY_TRUNCATED,
+                )
+            op, trace_id, request_id, codec_len = struct.unpack_from(
+                ">BQIB", body
+            )
+            op &= ~FLAG_TRACED
+            pos = 14
+        else:
+            if len(body) < 6:
+                raise WireError(
+                    f"request header needs 6 bytes, got {len(body)}",
+                    offset=len(body),
+                    category=CATEGORY_TRUNCATED,
+                )
+            op, request_id, codec_len = struct.unpack_from(">BIB", body)
+            pos = 6
         if op not in OPS:
             raise WireError(
                 f"unknown op {op}",
                 offset=0,
                 request_id=request_id,
             )
-        pos = 6
         if pos + codec_len + 4 > len(body):
             raise WireError(
                 "request truncated inside the codec/length fields",
@@ -208,15 +283,25 @@ def decode_request(body: bytes) -> Request:
             request_id=request_id,
             codec=codec,
             payload=body[pos:],
+            traced=traced,
+            trace_id=trace_id,
         )
 
 
 def encode_response(response: Response) -> bytes:
+    op = response.op | FLAG_TRACED if response.traced else response.op
     head = struct.pack(
-        ">BBI", response.op, response.status, response.request_id
+        ">BBI", op, response.status, response.request_id
+    )
+    annex = (
+        _LENGTH.pack(len(response.trace_json)) + response.trace_json
+        if response.traced else b""
     )
     if response.status == STATUS_OK:
-        return head + _LENGTH.pack(len(response.payload)) + response.payload
+        return (
+            head + _LENGTH.pack(len(response.payload)) + response.payload
+            + annex
+        )
     category = response.category.encode("utf-8")[:0xFF]
     message = response.message.encode("utf-8")[:0xFFFF]
     return b"".join((
@@ -225,6 +310,7 @@ def encode_response(response: Response) -> bytes:
         category,
         struct.pack(">H", len(message)),
         message,
+        annex,
     ))
 
 
@@ -239,6 +325,8 @@ def decode_response(body: bytes) -> Response:
                 category=CATEGORY_TRUNCATED,
             )
         op, status, request_id = struct.unpack_from(">BBI", body)
+        traced = bool(op & FLAG_TRACED)
+        op &= ~FLAG_TRACED
         pos = 6
         if status == STATUS_OK:
             if pos + 4 > len(body):
@@ -250,16 +338,19 @@ def decode_response(body: bytes) -> Response:
                 )
             (payload_len,) = _LENGTH.unpack_from(body, pos)
             pos += 4
-            if payload_len != len(body) - pos:
+            if payload_len > len(body) - pos:
                 raise WireError(
                     f"response declares {payload_len} payload bytes but "
                     f"{len(body) - pos} follow",
                     offset=pos,
                     request_id=request_id,
                 )
+            payload = body[pos : pos + payload_len]
+            pos += payload_len
+            trace_json = _decode_annex(body, pos, traced, request_id)
             return Response(
                 op=op, status=status, request_id=request_id,
-                payload=body[pos:],
+                payload=payload, traced=traced, trace_json=trace_json,
             )
         if pos + 1 > len(body):
             raise WireError(
@@ -275,10 +366,57 @@ def decode_response(body: bytes) -> Response:
         (message_len,) = struct.unpack_from(">H", body, pos)
         pos += 2
         message = body[pos : pos + message_len].decode("utf-8")
+        pos += message_len
+        trace_json = _decode_annex(body, pos, traced, request_id)
         return Response(
             op=op, status=status, request_id=request_id,
             category=category, message=message,
+            traced=traced, trace_json=trace_json,
         )
+
+
+def _decode_annex(
+    body: bytes, pos: int, traced: bool, request_id: int
+) -> bytes:
+    """Parse the trailing trace annex of a traced response body.
+
+    An untraced body must end exactly at ``pos``; a traced one must
+    carry exactly ``u32 trace_len | trace`` there.
+    """
+    if pos > len(body):
+        raise WireError(
+            f"response truncated {len(body)} bytes into a declared "
+            f"{pos}-byte body",
+            offset=len(body),
+            category=CATEGORY_TRUNCATED,
+            request_id=request_id,
+        )
+    if not traced:
+        if pos != len(body):
+            raise WireError(
+                f"{len(body) - pos} unexpected trailing bytes after the "
+                "response body",
+                offset=pos,
+                request_id=request_id,
+            )
+        return b""
+    if pos + 4 > len(body):
+        raise WireError(
+            "traced response truncated before the trace length",
+            offset=len(body),
+            category=CATEGORY_TRUNCATED,
+            request_id=request_id,
+        )
+    (trace_len,) = _LENGTH.unpack_from(body, pos)
+    pos += 4
+    if trace_len != len(body) - pos:
+        raise WireError(
+            f"trace annex declares {trace_len} bytes but "
+            f"{len(body) - pos} follow",
+            offset=pos,
+            request_id=request_id,
+        )
+    return body[pos:]
 
 
 # -- stream framing ----------------------------------------------------------
@@ -352,9 +490,11 @@ async def read_message(
 __all__ = [
     "DEFAULT_MAX_MESSAGE",
     "DEFAULT_PORT",
+    "FLAG_TRACED",
     "OPS",
     "OP_COMPRESS",
     "OP_DECOMPRESS",
+    "OP_DUMP",
     "OP_HEALTH",
     "OP_NAMES",
     "OP_STATS",

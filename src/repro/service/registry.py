@@ -28,6 +28,7 @@ from typing import Dict, Tuple
 from repro.core.samc.codec import SamcCodec
 from repro.core.samc.model import SamcModel
 from repro.obs import get_recorder
+from repro.obs.trace import trace_annotate
 
 #: Default resident-model bound; one SAMC model is a few tens of KB.
 DEFAULT_MAX_ENTRIES = 32
@@ -68,9 +69,15 @@ class WarmModelRegistry:
                 self._models.move_to_end(key)
                 self._hits += 1
                 rec.count("service.registry.hit")
+                trace_annotate(
+                    "registry", outcome="hit", digest=digest[:12]
+                )
                 return model
             with rec.span("service.registry.train", codec=codec_name):
                 model = codec.train(code)
+            trace_annotate(
+                "registry", outcome="train", digest=digest[:12]
+            )
             self._models[key] = model
             self._trained += 1
             rec.count("service.registry.train")

@@ -34,18 +34,22 @@ import hashlib
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs import Recorder, get_recorder, set_recorder
 from repro.obs.clock import monotonic_ns
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import summarize_histogram
+from repro.obs.prom import CONTENT_TYPE, prometheus_exposition
+from repro.obs.trace import TraceContext, activate
 from repro.resilience.errors import CorruptedStreamError
 from repro.service import protocol
 from repro.service.codecs import build_codecs
 from repro.service.protocol import (
     OP_COMPRESS,
     OP_DECOMPRESS,
+    OP_DUMP,
     OP_HEALTH,
     OP_NAMES,
     OP_STATS,
@@ -58,8 +62,9 @@ from repro.service.protocol import (
 )
 from repro.service.registry import WarmModelRegistry
 
-#: ``stats`` response document schema version.
-SERVICE_STATS_VERSION = 1
+#: ``stats`` response document schema version.  v2 added
+#: ``queue.inflight`` and the ``saturated`` flag on latency summaries.
+SERVICE_STATS_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -85,6 +90,13 @@ class ServiceConfig:
     max_message: int = protocol.DEFAULT_MAX_MESSAGE
     #: Warm-model registry bound.
     registry_entries: int = 32
+    #: Prometheus exposition port (``None`` disables the endpoint).
+    metrics_port: Optional[int] = None
+    #: Flight-recorder ring capacity (request-lifecycle events).
+    flightrec_capacity: int = 1024
+    #: When set, the flight recorder is dumped (JSONL) to this path on
+    #: every wire-protocol error — the busy-storm/fuzz-hang post-mortem.
+    flightrec_dump: Optional[str] = None
 
 
 class _Connection:
@@ -106,6 +118,8 @@ class _WorkItem:
     conn: _Connection
     request: Request
     accepted_ns: int
+    #: Span timeline of a traced request (``None`` when untraced).
+    trace: Optional[TraceContext] = None
 
 
 class CodecService:
@@ -121,12 +135,16 @@ class CodecService:
             self.config.registry_entries
         )
         self.codecs = build_codecs(self.registry)
+        self.flightrec = FlightRecorder(self.config.flightrec_capacity)
         self.address: Optional[Tuple[str, int]] = None
+        self.metrics_address: Optional[Tuple[str, int]] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional[asyncio.Queue] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._dispatchers: List[asyncio.Task] = []
         self._started_ns = 0
+        self._inflight = 0
         self._previous_recorder = None
 
     # -- lifecycle -----------------------------------------------------
@@ -151,6 +169,14 @@ class CodecService:
         )
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_connection,
+                self.config.host,
+                self.config.metrics_port,
+            )
+            msock = self._metrics_server.sockets[0].getsockname()
+            self.metrics_address = (msock[0], msock[1])
         self._started_ns = monotonic_ns()
         return self.address
 
@@ -162,6 +188,10 @@ class CodecService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         for task in self._dispatchers:
             task.cancel()
         for task in self._dispatchers:
@@ -191,6 +221,7 @@ class CodecService:
                     )
                 except WireError as error:
                     rec.count("service.wire_errors")
+                    self._record_protocol_error("wire_error", error)
                     await self._send(conn, error_response(
                         0, error.request_id, error.category, str(error)
                     ))
@@ -206,6 +237,7 @@ class CodecService:
                     # The frame was intact, so the stream is still
                     # synced: reply and keep serving this connection.
                     rec.count("service.bad_requests")
+                    self._record_protocol_error("bad_request", error)
                     await self._send(conn, error_response(
                         0,
                         getattr(error, "request_id", 0),
@@ -234,51 +266,113 @@ class CodecService:
             except (ConnectionError, OSError):
                 pass
 
+    def _record_protocol_error(self, kind: str, error: Exception) -> None:
+        """Flight-record a protocol defect; dump the ring if configured.
+
+        Wire errors are exactly the events post-mortems need context
+        for, so each one is both recorded *and* — when a dump path is
+        configured — triggers a JSONL dump of everything that led up to
+        it.
+        """
+        self.flightrec.record(
+            kind,
+            error=str(error),
+            category=getattr(error, "category", ""),
+        )
+        if self.config.flightrec_dump:
+            try:
+                self.flightrec.dump_to(self.config.flightrec_dump)
+            except OSError:
+                get_recorder().count("service.flightrec_dump_errors")
+
+    def _trace_of(self, request: Request, started: int) -> Optional[TraceContext]:
+        return (
+            TraceContext(request.trace_id, origin_ns=started)
+            if request.traced else None
+        )
+
+    @staticmethod
+    def _finish_trace(
+        response: Response, trace: Optional[TraceContext], segment: str
+    ) -> Response:
+        """Close a trace's final segment and embed the annex."""
+        if trace is None:
+            return response
+        trace.mark(segment)
+        return replace(
+            response,
+            traced=True,
+            trace_json=json.dumps(trace.to_annex(), sort_keys=True).encode(),
+        )
+
     async def _dispatch(
         self, conn: _Connection, request: Request, started: int
     ) -> None:
         rec = get_recorder()
         rec.count(f"service.requests.{OP_NAMES[request.op]}")
-        if request.op == OP_HEALTH:
-            await self._send(conn, Response(
-                op=OP_HEALTH, status=STATUS_OK,
-                request_id=request.request_id,
-                payload=json.dumps({"status": "ok"}).encode(),
-            ))
-            self._observe_latency("health", started)
-            return
-        if request.op == OP_STATS:
-            await self._send(conn, Response(
-                op=OP_STATS, status=STATUS_OK,
-                request_id=request.request_id,
-                payload=json.dumps(
+        trace = self._trace_of(request, started)
+        if request.op in (OP_HEALTH, OP_STATS, OP_DUMP):
+            # Inline ops: answered on the event loop, never queued, so
+            # their traced timeline is a single "inline" segment.
+            if request.op == OP_HEALTH:
+                payload = json.dumps({"status": "ok"}).encode()
+            elif request.op == OP_STATS:
+                payload = json.dumps(
                     self.stats_document(), sort_keys=True
-                ).encode(),
-            ))
-            self._observe_latency("stats", started)
+                ).encode()
+            else:
+                rec.count("service.flightrec_dumps")
+                payload = self.flightrec.dump_jsonl().encode()
+            response = self._finish_trace(Response(
+                op=request.op, status=STATUS_OK,
+                request_id=request.request_id,
+                payload=payload,
+            ), trace, "inline")
+            await self._send(conn, response)
+            self._observe_latency(OP_NAMES[request.op], started)
             return
         if conn.inflight >= self.config.max_inflight:
             rec.count("service.busy.connection")
-            await self._send(conn, error_response(
+            self.flightrec.record(
+                "busy", reason="connection",
+                request_id=request.request_id, op=OP_NAMES[request.op],
+            )
+            await self._send(conn, self._finish_trace(error_response(
                 request.op, request.request_id, "busy",
                 f"connection exceeds {self.config.max_inflight} "
                 "in-flight requests",
                 status=STATUS_BUSY,
-            ))
+            ), trace, "reply"))
             return
-        item = _WorkItem(conn=conn, request=request, accepted_ns=started)
+        item = _WorkItem(
+            conn=conn, request=request, accepted_ns=started, trace=trace,
+        )
         assert self._queue is not None
         try:
             self._queue.put_nowait(item)
         except asyncio.QueueFull:
             rec.count("service.busy.queue")
-            await self._send(conn, error_response(
+            self.flightrec.record(
+                "busy", reason="queue",
+                request_id=request.request_id, op=OP_NAMES[request.op],
+            )
+            await self._send(conn, self._finish_trace(error_response(
                 request.op, request.request_id, "busy",
                 f"request queue is full ({self.config.queue_size})",
                 status=STATUS_BUSY,
-            ))
+            ), trace, "reply"))
             return
+        if trace is not None:
+            # Closes recv→enqueue: header decode + dispatch overhead.
+            trace.mark("dispatch")
+        self.flightrec.record(
+            "accepted",
+            request_id=request.request_id, op=OP_NAMES[request.op],
+            codec=request.codec, bytes=len(request.payload),
+            traced=request.traced,
+        )
         conn.inflight += 1
+        self._inflight += 1
         conn.idle.clear()
         rec.gauge("service.queue_depth", self._queue.qsize())
 
@@ -296,6 +390,10 @@ class CodecService:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            for it in batch:
+                if it.trace is not None:
+                    # Closes enqueue→drain: time spent queued.
+                    it.trace.mark("queue_wait")
             rec.observe("service.batch_size", len(batch))
             rec.count("service.batches")
             # Group the drain by (op, codec, payload digest): every
@@ -328,6 +426,11 @@ class CodecService:
                     # _execute_group converts exceptions itself; this is
                     # the belt-and-braces path for executor failures.
                     rec.count("service.internal_errors")
+                    self.flightrec.record(
+                        "internal_error",
+                        error=f"{type(result).__name__}: {result}",
+                        group=len(group),
+                    )
                     result = [
                         error_response(
                             it.request.op, it.request.request_id,
@@ -340,12 +443,29 @@ class CodecService:
                     self._observe_latency(
                         OP_NAMES[it.request.op], it.accepted_ns
                     )
+                    # Closes codec→reply: executor hand-back plus the
+                    # reply fan-out wait on the event loop.  The annex
+                    # travels inside the reply, so the segment ends at
+                    # annex-encode time; the socket write that follows
+                    # is the (untraceable) remainder of wire latency.
+                    response = self._finish_trace(
+                        response, it.trace, "reply"
+                    )
+                    self.flightrec.record(
+                        "reply",
+                        request_id=it.request.request_id,
+                        op=OP_NAMES[it.request.op],
+                        status=protocol.STATUS_NAMES[response.status],
+                        latency_us=(monotonic_ns() - it.accepted_ns)
+                        // 1000,
+                    )
                     await self._send(it.conn, response)
                     # Decrement only after the reply went out: the
                     # reader side waits on `idle` before closing the
                     # writer, and an early decrement would let the
                     # close race the send.
                     it.conn.inflight -= 1
+                    self._inflight -= 1
                     if it.conn.inflight == 0:
                         it.conn.idle.set()
 
@@ -356,7 +476,24 @@ class CodecService:
         (grouping is digest-keyed), so on failure the one error maps to
         every member's ``request_id`` — exactly what per-request
         execution would have produced.
+
+        Traced members get two segment boundaries here — drain→executor
+        (``group_assembly``: grouping plus executor queue wait) and the
+        codec call itself (``codec``) — and the codec work runs with
+        their trace contexts *activated*, so shared machinery (the warm
+        model registry) annotates every traced timeline it served.
         """
+        traces = [it.trace for it in items if it.trace is not None]
+        for trace in traces:
+            trace.mark("group_assembly")
+        try:
+            with activate(traces):
+                return self._run_group(items)
+        finally:
+            for trace in traces:
+                trace.mark("codec")
+
+    def _run_group(self, items: List[_WorkItem]) -> List[Response]:
         rec = get_recorder()
         requests = [it.request for it in items]
         first = requests[0]
@@ -433,7 +570,7 @@ class CodecService:
         )
 
     def stats_document(self) -> Dict[str, object]:
-        """The ``stats`` op's JSON document (stable schema, version 1)."""
+        """The ``stats`` op's JSON document (stable schema, versioned)."""
         snapshot = get_recorder().snapshot()
         counters = {
             name: value
@@ -459,9 +596,55 @@ class CodecService:
                 "depth_highwater": snapshot["gauges"].get(
                     "service.queue_depth", 0
                 ),
+                "inflight": self._inflight,
             },
             "registry": self.registry.stats(),
         }
+
+    # -- metrics endpoint ----------------------------------------------
+
+    async def _on_metrics_connection(self, reader, writer) -> None:
+        """Serve one Prometheus scrape (minimal HTTP/1.0 responder).
+
+        Any ``GET`` earns the full exposition; other methods get 405.
+        One response per connection — scrapers reconnect per scrape.
+        """
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=10
+            )
+            # Drain headers until the blank line so well-behaved HTTP
+            # clients are not left with an unread request body buffer.
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=10)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            method = request_line.split(b" ", 1)[0].upper()
+            if method == b"GET":
+                body = prometheus_exposition(get_recorder().snapshot())
+                payload = body.encode("utf-8")
+                head = (
+                    "HTTP/1.0 200 OK\r\n"
+                    f"Content-Type: {CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "\r\n"
+                )
+                writer.write(head.encode("ascii") + payload)
+                get_recorder().count("service.metrics_scrapes")
+            else:
+                writer.write(
+                    b"HTTP/1.0 405 Method Not Allowed\r\n"
+                    b"Content-Length: 0\r\n\r\n"
+                )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
 
 # -- in-process harness ------------------------------------------------------

@@ -1,0 +1,173 @@
+"""``python -m repro top`` — a live text dashboard for a running daemon.
+
+Polls the service's ``stats`` op on an interval and renders one screen
+per sample: request rate (derived from counter deltas between polls),
+queue depth and in-flight count, batch group sizes, per-op latency
+percentiles, registry hit rate, and the error split.  Everything the
+operator of a saturating daemon reaches for first, without attaching a
+debugger or restarting with more logging.
+
+The module splits cleanly for testing: :func:`sample_rates` turns two
+stats documents plus the elapsed interval into per-second rates, and
+:func:`render_dashboard` turns one stats document (plus optional rates)
+into the screen's lines.  The interactive loop (:func:`run_top`) is a
+thin driver over those two pure functions — ``--iterations`` bounds it
+so tests and scripts can run it headlessly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.service.client import ServiceClient
+
+#: Counters whose deltas the dashboard turns into per-second rates.
+RATE_COUNTERS = (
+    "service.requests.compress",
+    "service.requests.decompress",
+    "service.requests.health",
+    "service.requests.stats",
+    "service.replies.ok",
+    "service.replies.busy",
+    "service.replies.error",
+    "service.bytes_in",
+    "service.bytes_out",
+)
+
+
+def sample_rates(
+    previous: Optional[Dict[str, object]],
+    current: Dict[str, object],
+    elapsed: float,
+) -> Dict[str, float]:
+    """Per-second rates from two consecutive stats documents.
+
+    The first sample has no predecessor, so every rate starts at zero
+    rather than misreporting the daemon's lifetime totals as a burst.
+    """
+    if previous is None or elapsed <= 0:
+        return {name: 0.0 for name in RATE_COUNTERS}
+    old = previous.get("counters") or {}
+    new = current.get("counters") or {}
+    return {
+        name: max(0, new.get(name, 0) - old.get(name, 0)) / elapsed
+        for name in RATE_COUNTERS
+    }
+
+
+def _latency_row(op_name: str, cell: Dict[str, object]) -> str:
+    flag = " (saturated)" if cell.get("saturated") else ""
+    return (
+        f"  {op_name:<12} n={cell['count']:<8} "
+        f"p50 {cell['p50'] / 1000:>8.2f}ms  "
+        f"p95 {cell['p95'] / 1000:>8.2f}ms  "
+        f"p99 {cell['p99'] / 1000:>8.2f}ms{flag}"
+    )
+
+
+def render_dashboard(
+    doc: Dict[str, object],
+    rates: Optional[Dict[str, float]] = None,
+) -> List[str]:
+    """One dashboard frame from a ``stats`` document (pure; testable)."""
+    counters = doc.get("counters") or {}
+    queue = doc.get("queue") or {}
+    registry = doc.get("registry") or {}
+    rates = rates or {}
+
+    request_rate = sum(
+        rates.get(f"service.requests.{op}", 0.0)
+        for op in ("compress", "decompress", "health", "stats")
+    )
+    ok = counters.get("service.replies.ok", 0)
+    busy = counters.get("service.replies.busy", 0)
+    errors = counters.get("service.replies.error", 0)
+    hits = registry.get("hits", 0)
+    trained = registry.get("trained", 0)
+    lookups = hits + trained
+    hit_rate = (100.0 * hits / lookups) if lookups else 0.0
+
+    lines = [
+        f"repro service — up {doc.get('uptime_seconds', 0):.0f}s, "
+        f"stats schema v{doc.get('schema_version', '?')}",
+        f"  rps {request_rate:>8.1f}   "
+        f"in {rates.get('service.bytes_in', 0.0) / 1024:>8.1f} KiB/s   "
+        f"out {rates.get('service.bytes_out', 0.0) / 1024:>8.1f} KiB/s",
+        f"  queue {queue.get('depth', 0)}/{queue.get('capacity', 0)} "
+        f"(high-water {queue.get('depth_highwater', 0)})   "
+        f"in-flight {queue.get('inflight', 0)}",
+        f"  replies: {ok} ok / {busy} busy / {errors} error   "
+        f"wire errors {counters.get('service.wire_errors', 0)}, "
+        f"bad requests {counters.get('service.bad_requests', 0)}, "
+        f"internal {counters.get('service.internal_errors', 0)}",
+    ]
+    batch = doc.get("batch")
+    if batch:
+        lines.append(
+            f"  batch: mean {batch.get('mean', 0):.0f} "
+            f"p99 {batch.get('p99', 0)} over {batch.get('count', 0)} "
+            f"dispatches ("
+            f"{counters.get('service.batch_grouped', 0)} grouped / "
+            f"{counters.get('service.batch_singleton', 0)} singleton)"
+        )
+    lines.append(
+        f"  registry: {registry.get('entries', 0)}/"
+        f"{registry.get('max_entries', 0)} models, "
+        f"{hit_rate:.1f}% hit rate "
+        f"({hits} hits / {trained} trained / "
+        f"{registry.get('evictions', 0)} evicted)"
+    )
+    latency = doc.get("latency_us") or {}
+    if latency:
+        lines.append("  latency:")
+        for op_name in sorted(latency):
+            lines.append(_latency_row(op_name, latency[op_name]))
+    return lines
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    clear_screen: bool = True,
+    write=print,
+) -> int:
+    """Poll-and-render loop; returns 0, or 1 if the daemon went away.
+
+    ``iterations=None`` runs until interrupted (the interactive mode);
+    a bounded count makes the loop scriptable.  ``write`` is injectable
+    so tests capture frames instead of a terminal.
+    """
+    from repro.obs.clock import perf_seconds
+
+    previous: Optional[Dict[str, object]] = None
+    previous_at = 0.0
+    count = 0
+    while iterations is None or count < iterations:
+        try:
+            with ServiceClient(host, port, timeout=10.0) as client:
+                doc = client.stats()
+        except (OSError, RuntimeError, ValueError) as error:
+            write(f"repro top: stats poll failed: {error}")
+            return 1
+        now = perf_seconds()
+        rates = sample_rates(previous, doc, now - previous_at)
+        if clear_screen:
+            write("\x1b[2J\x1b[H")
+        for line in render_dashboard(doc, rates):
+            write(line)
+        previous, previous_at = doc, now
+        count += 1
+        if iterations is None or count < iterations:
+            time.sleep(interval)
+    return 0
+
+
+__all__ = [
+    "RATE_COUNTERS",
+    "render_dashboard",
+    "run_top",
+    "sample_rates",
+]

@@ -79,13 +79,17 @@ class TestRoundTrips:
             "schema_version", "uptime_seconds", "codecs", "counters",
             "latency_us", "batch", "queue", "registry",
         }
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert "gzipish" in doc["codecs"]
         assert doc["counters"]["service.requests.compress"] >= 1
         cell = doc["latency_us"]["compress"]
-        assert set(cell) == {"count", "mean", "p50", "p95", "p99"}
+        assert set(cell) == {
+            "count", "mean", "p50", "p95", "p99", "saturated",
+        }
         assert 0 < cell["p50"] <= cell["p99"]
+        assert cell["saturated"] is False
         assert doc["queue"]["capacity"] == 256
+        assert doc["queue"]["inflight"] >= 0
         assert doc["registry"]["max_entries"] == 32
 
 

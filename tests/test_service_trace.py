@@ -1,0 +1,322 @@
+"""End-to-end request tracing, the flight recorder, and the DUMP op.
+
+The tentpole contracts of the observability layer:
+
+* a traced request's reply carries a trace annex whose trace id is the
+  client's, whose segments partition the server timeline exactly
+  (``sum(dur_ns) == total_ns``), and whose total fits inside the
+  client-observed wire latency;
+* untagged frames are untouched — tracing is strictly opt-in and
+  backwards compatible;
+* the flight recorder is a bounded ring whose JSONL dump round-trips,
+  reachable over the wire (DUMP) and written to disk on wire errors;
+* the fuzzer's trace-mutation cases cannot extract a hang, a success,
+  or a leaked internal error from the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.clock import monotonic_ns
+from repro.obs.flightrec import FlightRecorder, parse_dump
+from repro.obs.trace import TraceContext, activate, trace_annotate
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    FLAG_TRACED,
+    OP_COMPRESS,
+    OP_DUMP,
+    OP_STATS,
+    Request,
+    Response,
+    STATUS_OK,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.service.server import ServerThread, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServiceConfig(port=0)) as address:
+        yield address
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server
+    with ServiceClient(host, port) as cli:
+        yield cli
+
+
+PAYLOAD = bytes(range(256)) * 4
+
+
+class TestTracedProtocol:
+    """Wire-level encode/decode of the trace extension."""
+
+    def test_traced_request_round_trip(self):
+        request = Request(
+            op=OP_COMPRESS, request_id=7, codec="gzipish",
+            payload=b"abc", traced=True, trace_id=(1 << 64) - 1,
+        )
+        decoded = decode_request(encode_request(request))
+        assert decoded.traced is True
+        assert decoded.trace_id == (1 << 64) - 1
+        assert decoded.payload == b"abc"
+        assert decoded.request_id == 7
+
+    def test_untraced_request_unchanged(self):
+        request = Request(
+            op=OP_COMPRESS, request_id=3, codec="lzw", payload=b"xy"
+        )
+        body = encode_request(request)
+        assert body[0] == OP_COMPRESS  # no flag bit on the wire
+        decoded = decode_request(body)
+        assert decoded.traced is False and decoded.trace_id == 0
+
+    def test_trace_id_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_request(Request(
+                op=OP_COMPRESS, request_id=1, codec="lzw",
+                payload=b"", traced=True, trace_id=1 << 64,
+            ))
+
+    def test_traced_response_round_trip(self):
+        annex = json.dumps({
+            "version": 1, "trace_id": 42, "total_ns": 10,
+            "segments": [], "annotations": [],
+        }).encode()
+        response = Response(
+            op=OP_COMPRESS, status=STATUS_OK, request_id=9,
+            payload=b"out", traced=True, trace_json=annex,
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded.traced is True
+        assert decoded.payload == b"out"
+        assert decoded.trace()["trace_id"] == 42
+
+    def test_untraced_response_has_no_annex(self):
+        response = Response(
+            op=OP_COMPRESS, status=STATUS_OK, request_id=1, payload=b"z"
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded.traced is False and decoded.trace() is None
+
+    def test_truncated_traced_request_rejected(self):
+        # A traced header needs 14 bytes before the codec name.
+        stub = bytes([OP_COMPRESS | FLAG_TRACED]) + b"\x00" * 5
+        with pytest.raises(protocol.WireError):
+            decode_request(stub)
+
+    def test_flag_on_unknown_op_still_unknown(self):
+        body = bytearray(encode_request(Request(
+            op=OP_COMPRESS, request_id=1, codec="gzipish",
+            payload=b"x", traced=True, trace_id=5,
+        )))
+        body[0] = 127 | FLAG_TRACED
+        with pytest.raises(protocol.WireError, match="op"):
+            decode_request(bytes(body))
+
+
+class TestTraceContext:
+    """The exact-partition timeline model."""
+
+    def test_segments_partition_exactly(self):
+        t0 = monotonic_ns()
+        ctx = TraceContext(1, origin_ns=t0)
+        ctx.mark("a", now_ns=t0 + 100)
+        ctx.mark("b", now_ns=t0 + 250)
+        ctx.mark("c", now_ns=t0 + 1000)
+        assert [s["dur_ns"] for s in ctx.segments] == [100, 150, 750]
+        assert [s["start_ns"] for s in ctx.segments] == [0, 100, 250]
+        assert sum(s["dur_ns"] for s in ctx.segments) == ctx.total_ns == 1000
+
+    def test_clock_regression_clamps_to_zero_duration(self):
+        t0 = monotonic_ns()
+        ctx = TraceContext(1, origin_ns=t0)
+        ctx.mark("a", now_ns=t0 - 50)
+        assert ctx.segments[0]["dur_ns"] == 0
+        assert ctx.total_ns == 0
+
+    def test_annotations_reach_every_active_context(self):
+        contexts = [TraceContext(i) for i in (1, 2)]
+        with activate(contexts):
+            trace_annotate("registry", outcome="hit")
+        trace_annotate("after", x=1)  # outside: no-op
+        for ctx in contexts:
+            assert [a["name"] for a in ctx.annotations] == ["registry"]
+            assert ctx.annotations[0]["outcome"] == "hit"
+
+
+class TestTracedService:
+    """Live-daemon tracing: echo, reconciliation, registry annotation."""
+
+    @pytest.mark.parametrize("trace_id", [0, 1, (1 << 64) - 1])
+    def test_trace_id_echoed(self, client, trace_id):
+        response = client.request(
+            OP_COMPRESS, "gzipish", PAYLOAD, trace_id=trace_id
+        )
+        assert response.ok
+        assert response.trace()["trace_id"] == trace_id
+
+    def test_timeline_reconciles_with_wire_latency(self, client):
+        started = monotonic_ns()
+        response = client.request(
+            OP_COMPRESS, "gzipish", PAYLOAD, trace_id=99
+        )
+        wire_ns = monotonic_ns() - started
+        annex = response.trace()
+        segments = annex["segments"]
+        # The exact-partition invariant survives the wire.
+        assert sum(s["dur_ns"] for s in segments) == annex["total_ns"]
+        # The server timeline fits inside what the client observed.
+        assert 0 < annex["total_ns"] <= wire_ns
+        assert [s["name"] for s in segments] == [
+            "dispatch", "queue_wait", "group_assembly", "codec", "reply",
+        ]
+
+    def test_untraced_request_gets_no_annex(self, client):
+        response = client.request(OP_COMPRESS, "gzipish", PAYLOAD)
+        assert response.ok and response.trace() is None
+
+    def test_registry_annotates_traced_samc_requests(self, client):
+        code = bytes((i * 7) % 256 for i in range(1024))
+        first = client.request(
+            OP_COMPRESS, "samc-bytes", code, trace_id=11
+        ).trace()
+        second = client.request(
+            OP_COMPRESS, "samc-bytes", code, trace_id=12
+        ).trace()
+        outcomes = {
+            a["outcome"] for annex in (first, second)
+            for a in annex["annotations"] if a["name"] == "registry"
+        }
+        # Train on first touch, hit on the second: both annotated.
+        assert "train" in outcomes and "hit" in outcomes
+
+    def test_inline_op_traces_as_single_segment(self, client):
+        response = client.request(OP_STATS, trace_id=5)
+        annex = response.trace()
+        assert [s["name"] for s in annex["segments"]] == ["inline"]
+        assert annex["segments"][0]["dur_ns"] == annex["total_ns"]
+
+    def test_error_reply_still_carries_trace(self, client):
+        response = client.request(
+            OP_COMPRESS, "no-such-codec", b"x", trace_id=13
+        )
+        assert not response.ok
+        assert response.trace()["trace_id"] == 13
+
+
+class TestFlightRecorder:
+    """Ring bounds, dump round-trip, and the wire/dump-on-error paths."""
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        rec = FlightRecorder(capacity=4)
+        for index in range(10):
+            rec.record("event", index=index)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        # Oldest fell off; sequence numbers keep counting.
+        assert [e["index"] for e in rec.events()] == [6, 7, 8, 9]
+        assert [e["seq"] for e in rec.events()] == [7, 8, 9, 10]
+
+    def test_dump_round_trips_through_parse(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("accepted", request_id=1, op="compress")
+        rec.record("reply", request_id=1, status="ok")
+        parsed = parse_dump(rec.dump_jsonl())
+        assert parsed["meta"]["events"] == 2
+        assert parsed["meta"]["capacity"] == 8
+        assert [e["kind"] for e in parsed["events"]] == [
+            "accepted", "reply",
+        ]
+
+    def test_parse_rejects_malformed_dumps(self):
+        with pytest.raises(ValueError):
+            parse_dump("")
+        with pytest.raises(ValueError):
+            parse_dump('{"not-meta": 1}\n')
+        good = FlightRecorder(2)
+        good.record("x")
+        truncated = good.dump_jsonl().splitlines()[0] + "\n"
+        with pytest.raises(ValueError, match="declares"):
+            parse_dump(truncated)
+
+    def test_dump_op_returns_parseable_ring(self, client):
+        client.request(OP_COMPRESS, "gzipish", PAYLOAD)
+        dump = client.request(OP_DUMP)
+        assert dump.ok
+        parsed = parse_dump(dump.payload.decode())
+        kinds = {e["kind"] for e in parsed["events"]}
+        assert "accepted" in kinds and "reply" in kinds
+
+    def test_wire_error_dumps_to_configured_path(self, tmp_path):
+        dump_path = tmp_path / "flight.jsonl"
+        config = ServiceConfig(
+            port=0, flightrec_capacity=64, flightrec_dump=str(dump_path)
+        )
+        with ServerThread(config) as (host, port):
+            with ServiceClient(host, port) as cli:
+                cli.request(OP_COMPRESS, "gzipish", b"ok" * 32)
+                cli.send_raw(b"\x00\x00\x00\x05garbage")
+                cli.shutdown_write()
+                # The error reply arrives before the close.
+                while True:
+                    try:
+                        cli.read_response()
+                    except Exception:
+                        break
+            assert dump_path.exists()
+        parsed = parse_dump(dump_path.read_text())
+        assert any(
+            e["kind"] == "wire_error" for e in parsed["events"]
+        )
+
+
+class TestFuzzTraceCases:
+    """The fuzzer's trace mutations stay within the service contract."""
+
+    def test_fuzz_run_with_trace_cases_passes(self):
+        from repro.service.fuzz import run_service_fuzz
+
+        report = run_service_fuzz(seed=17, iters=60)
+        assert report.ok, report.failures
+        assert report.hangs == 0
+
+    def test_trace_case_generators_cover_flag_paths(self):
+        import random
+
+        from repro.service.fuzz import (
+            _case_trace_flag_on_malformed,
+            _case_traced_probe,
+            _case_traced_truncated,
+        )
+
+        rng = random.Random(5)
+        for case in (
+            _case_traced_probe,
+            _case_trace_flag_on_malformed,
+            _case_traced_truncated,
+        ):
+            data = case(rng)
+            assert isinstance(data, bytes) and len(data) > 4
+
+    def test_fuzz_failure_fetches_flight_dump(self, tmp_path):
+        # fetch_flight_dump against a healthy daemon: the artifact hook.
+        from repro.service.fuzz import fetch_flight_dump
+
+        path = tmp_path / "fuzz-flight.jsonl"
+        with ServerThread(ServiceConfig(port=0)) as address:
+            with ServiceClient(*address) as cli:
+                cli.request(OP_COMPRESS, "gzipish", b"warm" * 16)
+            assert fetch_flight_dump(address, str(path)) is True
+        parsed = parse_dump(path.read_text())
+        assert parsed["meta"]["events"] >= 1
