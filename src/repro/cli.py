@@ -12,6 +12,7 @@ Subcommands
 ``fuzz``        deterministic fault injection: decoders or the live service
 ``serve``       run the compression service daemon
 ``loadgen``     drive a running daemon with a paced mixed workload
+``soak``        chaos soak: loadgen through the seeded fault proxy
 ``trace``       trace one request end-to-end; emit a Chrome trace JSON
 ``top``         live dashboard over a running daemon's ``stats`` op
 """
@@ -497,8 +498,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the compression service daemon until interrupted."""
+    """Run the compression service daemon until interrupted.
+
+    SIGTERM and SIGINT both trigger a graceful drain: the listener
+    closes (no new connections), every queued and in-flight request is
+    answered, and the process exits 0 within ``--drain-deadline``
+    seconds — so an orchestrator's stop never loses accepted replies.
+    """
     import asyncio
+    import signal
 
     from repro.service.server import CodecService, ServiceConfig
 
@@ -513,6 +521,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         flightrec_capacity=args.flightrec_capacity,
         flightrec_dump=args.flightrec_dump,
+        drain_deadline=args.drain_deadline,
     )
 
     async def _serve() -> None:
@@ -525,9 +534,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mhost, mport = service.metrics_address
             print(f"metrics (Prometheus) on http://{mhost}:{mport}/metrics",
                   file=sys.stderr, flush=True)
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal handlers: Ctrl-C path below
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        stop_task = asyncio.ensure_future(shutdown.wait())
         try:
-            await service.serve_forever()
+            await asyncio.wait(
+                {serve_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if shutdown.is_set():
+                print("repro service: draining "
+                      f"({service.inflight} request(s) in flight)",
+                      file=sys.stderr, flush=True)
         finally:
+            serve_task.cancel()
+            stop_task.cancel()
             await service.stop()
 
     try:
@@ -535,6 +562,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Chaos soak: loadgen through the seeded fault proxy, with a drain.
+
+    Spawns an in-process daemon, fronts it with the seeded TCP fault
+    proxy (:mod:`repro.service.chaos`), drives retrying load-generator
+    workers through the proxy, triggers a mid-soak graceful drain (the
+    SIGTERM analogue), and verifies the failure-semantics contract:
+    every request ends in a typed outcome, zero hangs, zero leaked
+    internal errors, zero reply loss across the drain.  Exit 1 on any
+    violation; ``--flightrec-dump`` writes the daemon's lifecycle ring
+    as JSONL for post-mortems.
+    """
+    from repro.service.soak import run_soak
+
+    report = run_soak(
+        seed=args.seed,
+        duration=args.duration,
+        rps=args.rps,
+        connections=args.connections,
+        dump_path=args.flightrec_dump,
+    )
+    if args.format == "json":
+        emit_json(report.to_dict())
+    else:
+        print_lines(report.format_lines(), empty="soak: nothing ran")
+    return report_failures(
+        len(report.violations),
+        f"soak: {len(report.violations)} contract violation(s)",
+    )
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -903,7 +961,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--flightrec-dump", default=None, metavar="PATH",
                        help="dump the flight-recorder ring (JSONL) here "
                             "on every wire-protocol error")
+    serve.add_argument("--drain-deadline", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="graceful-drain budget on SIGTERM/SIGINT: "
+                            "how long to wait for in-flight requests "
+                            "before force-closing (default 10)")
     serve.set_defaults(func=_cmd_serve)
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos soak: loadgen through the seeded fault proxy, "
+             "with a mid-soak graceful drain",
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--duration", type=float, default=20.0,
+                      metavar="SECONDS",
+                      help="soak length (default 20); the graceful "
+                           "drain fires at ~60%% of it")
+    soak.add_argument("--rps", type=float, default=80.0,
+                      help="target request rate through the proxy "
+                           "(default 80)")
+    soak.add_argument("--connections", type=int, default=4,
+                      help="concurrent retrying workers (default 4)")
+    soak.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    soak.add_argument("--flightrec-dump", default=None, metavar="PATH",
+                      help="write the daemon's flight-recorder ring "
+                           "(JSONL) here after the soak — the CI "
+                           "artifact on failure")
+    soak.set_defaults(func=_cmd_soak)
 
     loadgen = sub.add_parser(
         "loadgen",

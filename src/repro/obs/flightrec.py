@@ -91,6 +91,19 @@ class FlightRecorder:
         with self._lock:
             self._ring.clear()
 
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Event counts per ``kind`` over the current ring contents.
+
+        What lifecycle verification wants: "how many ``shed`` /
+        ``drained`` / ``force_closed`` events survived the run" without
+        hand-rolling the aggregation at every call site.
+        """
+        counts: Dict[str, int] = {}
+        for event in self.events():
+            kind = str(event["kind"])
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     # repro: contract determinism-sink
     def dump_jsonl(self) -> str:
         """The ring as JSONL: one ``meta`` line, then one line per event.
@@ -140,6 +153,9 @@ class NullFlightRecorder:
 
     def clear(self) -> None:
         pass
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        return {}
 
     def dump_jsonl(self) -> str:
         import json

@@ -5,10 +5,15 @@ The service layer turns the repo's codecs into a long-lived daemon
 binary protocol, with a warm SAMC model registry so the semiadaptive
 training pass is amortised across requests.  Companions: a blocking and
 an asyncio client, a paced mixed-workload load generator
-(``python -m repro loadgen``), and a wire-protocol fuzzer
-(``python -m repro fuzz --target service``).
+(``python -m repro loadgen``), a wire-protocol fuzzer
+(``python -m repro fuzz --target service``), and the failure-semantics
+layer: seeded retry/backoff policies with a circuit breaker
+(:mod:`repro.service.retry`), a seeded TCP fault proxy
+(:mod:`repro.service.chaos`), and the chaos soak driver
+(``python -m repro soak``).
 """
 
+from repro.service.chaos import ChaosProxy, FaultPlan
 from repro.service.client import (
     AsyncServiceClient,
     ServiceClient,
@@ -22,6 +27,7 @@ from repro.service.loadgen import (
     build_workload,
     find_saturation,
     run_loadgen,
+    run_loadgen_async,
 )
 from repro.service.protocol import (
     DEFAULT_MAX_MESSAGE,
@@ -33,18 +39,28 @@ from repro.service.protocol import (
     Request,
     Response,
     STATUS_BUSY,
+    STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_OK,
     WireError,
 )
 from repro.service.registry import WarmModelRegistry
+from repro.service.retry import (
+    CircuitBreaker,
+    RetryPolicy,
+    classify_failure,
+)
 from repro.service.server import CodecService, ServerThread, ServiceConfig
+from repro.service.soak import SoakReport, run_soak
 
 __all__ = [
     "AsyncServiceClient",
+    "ChaosProxy",
+    "CircuitBreaker",
     "CodecService",
     "DEFAULT_MAX_MESSAGE",
     "DEFAULT_PORT",
+    "FaultPlan",
     "LoadgenReport",
     "OP_COMPRESS",
     "OP_DECOMPRESS",
@@ -52,7 +68,9 @@ __all__ = [
     "OP_STATS",
     "Request",
     "Response",
+    "RetryPolicy",
     "STATUS_BUSY",
+    "STATUS_DEADLINE",
     "STATUS_ERROR",
     "STATUS_OK",
     "ServerThread",
@@ -61,12 +79,16 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceFuzzReport",
+    "SoakReport",
     "WarmModelRegistry",
     "WireError",
     "build_codecs",
     "build_workload",
+    "classify_failure",
     "find_saturation",
     "run_loadgen",
+    "run_loadgen_async",
     "run_service_fuzz",
+    "run_soak",
     "wait_for_service",
 ]

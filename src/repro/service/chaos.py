@@ -1,0 +1,285 @@
+"""Seeded TCP fault proxy: the network chaos half of the soak harness.
+
+Sits between a service client and the daemon and injects the transport
+faults a real deployment sees — the ones no unit test of either
+endpoint exercises:
+
+* ``reset`` — the connection is torn down mid-stream after a seeded
+  number of forwarded bytes (RST, not FIN: the abort path);
+* ``truncate`` — a server reply is cut mid-frame and the connection
+  closed, so the client holds a length prefix whose body never comes;
+* ``slow`` — server replies drip through in tiny chunks with small
+  delays, exercising partial-read handling without ever approaching a
+  request timeout;
+* ``latency`` — a fixed per-chunk delay both ways (slow network, fast
+  endpoints);
+* ``duplicate`` — one server chunk is written twice, splicing stale
+  bytes into the reply stream and desynchronising the client's framing
+  (the client must detect this via CRC/length checks, type it as a
+  connection fault, and resynchronise by reconnecting).
+
+Every connection draws its fault plan from ``random.Random`` seeded by
+``(proxy seed, connection index)``, so a soak run with a given seed
+replays the same fault *schedule* — which connections get which fault
+at which byte offsets — every time.  All injected delays are bounded
+well below any client timeout: a request that times out through the
+proxy is a real hang, never an artifact of the harness.
+
+The proxy makes no attempt to understand the wire protocol.  Faults are
+byte-level on purpose: frame CRCs, length prefixes, and request-id
+matching are exactly the machinery the clients claim protects them, and
+a proxy that respected frame boundaries could never test that claim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Fault modes and their relative weights: most connections are clean,
+#: so requests mostly succeed and the soak measures recovery, not
+#: pure failure.
+FAULT_WEIGHTS = (
+    ("clean", 11),
+    ("reset", 2),
+    ("truncate", 2),
+    ("slow", 2),
+    ("latency", 2),
+    ("duplicate", 1),
+)
+
+#: Ceiling on any single injected delay, in seconds.  Kept far below
+#: client request timeouts so harness-added latency can never be
+#: mistaken for a hang.
+MAX_INJECTED_DELAY = 0.05
+
+#: ``slow`` mode drips at most this many delayed chunks per read, so
+#: its worst-case injected latency is MAX_DRIP_CHUNKS *
+#: MAX_INJECTED_DELAY (~1 s), bounded regardless of reply size.
+MAX_DRIP_CHUNKS = 20
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One connection's fault: what goes wrong, where, and how slowly."""
+
+    mode: str
+    #: ``reset``/``truncate``/``duplicate``: trigger once this many
+    #: upstream-reply bytes have been forwarded.
+    trigger_after: int
+    #: ``slow``: chunk size for dripped writes.
+    drip_bytes: int
+    #: ``slow``/``latency``: per-chunk injected delay (seconds).
+    delay: float
+
+    @classmethod
+    def derive(cls, seed: int, index: int) -> "FaultPlan":
+        """The deterministic plan for connection ``index`` under ``seed``."""
+        rng = random.Random(seed * 0x9E3779B1 + index)
+        modes = [mode for mode, _ in FAULT_WEIGHTS]
+        weights = [weight for _, weight in FAULT_WEIGHTS]
+        mode = rng.choices(modes, weights=weights)[0]
+        return cls(
+            mode=mode,
+            trigger_after=rng.randrange(8, 4096),
+            drip_bytes=rng.randrange(3, 17),
+            delay=rng.uniform(0.001, MAX_INJECTED_DELAY),
+        )
+
+
+class ChaosProxy:
+    """Seeded TCP fault injector in front of one upstream address."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.seed = seed
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._conn_index = 0
+        self._handlers: set = set()
+        #: Connections handled per fault mode, plus upstream refusals.
+        self.fault_counts: Dict[str, int] = {
+            mode: 0 for mode, _ in FAULT_WEIGHTS
+        }
+        self.upstream_refused = 0
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Tear down live connections too: a stopped proxy must leave
+        # no pump waiting on a sleep or a read.
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(
+                *self._handlers, return_exceptions=True
+            )
+        self._handlers.clear()
+
+    async def _handle(self, client_reader, client_writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            await self._proxy_one(client_reader, client_writer)
+        except asyncio.CancelledError:
+            pass  # proxy stopping: the writers close in _proxy_one
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+
+    async def _proxy_one(self, client_reader, client_writer) -> None:
+        plan = FaultPlan.derive(self.seed, self._conn_index)
+        self._conn_index += 1
+        self.fault_counts[plan.mode] += 1
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self.upstream
+            )
+        except (ConnectionError, OSError):
+            # The daemon is gone (drained, most likely).  Close the
+            # client immediately: a fast typed connection fault, never
+            # a hang on a half-open proxy connection.
+            self.upstream_refused += 1
+            await _close(client_writer)
+            return
+        abort = asyncio.Event()
+        try:
+            await asyncio.gather(
+                self._pump(client_reader, up_writer, plan,
+                           reply_side=False, abort=abort),
+                self._pump(up_reader, client_writer, plan,
+                           reply_side=True, abort=abort),
+            )
+        finally:
+            await _close(up_writer)
+            await _close(client_writer)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        plan: FaultPlan,
+        reply_side: bool,
+        abort: asyncio.Event,
+    ) -> None:
+        """Forward one direction, applying the plan's fault.
+
+        Byte-offset faults (``reset``/``truncate``/``duplicate``) key
+        off the reply direction, where mid-frame damage hurts the
+        client; pacing faults apply per chunk.  ``abort`` links the two
+        directions so a reset kills both at once.
+        """
+        forwarded = 0
+        duplicated = False
+        try:
+            while not abort.is_set():
+                chunk = await reader.read(4096)
+                if not chunk:
+                    break
+                if plan.mode == "latency":
+                    await asyncio.sleep(plan.delay)
+                if reply_side:
+                    if plan.mode == "reset" and (
+                        forwarded + len(chunk) >= plan.trigger_after
+                    ):
+                        abort.set()
+                        _abort_transport(writer)
+                        return
+                    if plan.mode == "truncate" and (
+                        forwarded + len(chunk) >= plan.trigger_after
+                    ):
+                        keep = max(1, plan.trigger_after - forwarded)
+                        writer.write(chunk[:keep])
+                        await writer.drain()
+                        abort.set()
+                        return
+                    if plan.mode == "slow":
+                        # Drip only the first MAX_DRIP_CHUNKS pieces,
+                        # then open the tap: the fault is the partial
+                        # read pattern, and the total injected delay
+                        # must stay far below any request timeout.
+                        dripped = 0
+                        for start in range(0, len(chunk), plan.drip_bytes):
+                            writer.write(
+                                chunk[start:start + plan.drip_bytes]
+                            )
+                            await writer.drain()
+                            if dripped < MAX_DRIP_CHUNKS:
+                                dripped += 1
+                                await asyncio.sleep(plan.delay)
+                        forwarded += len(chunk)
+                        continue
+                    if plan.mode == "duplicate" and not duplicated and (
+                        forwarded + len(chunk) >= plan.trigger_after
+                    ):
+                        duplicated = True
+                        writer.write(chunk + chunk)
+                        await writer.drain()
+                        forwarded += len(chunk)
+                        continue
+                writer.write(chunk)
+                await writer.drain()
+                forwarded += len(chunk)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            abort.set()
+            # Half-close so the peer direction sees EOF and unwinds.
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    def report(self) -> Dict[str, int]:
+        """Connection counts per fault mode (plus upstream refusals)."""
+        doc = dict(self.fault_counts)
+        doc["upstream_refused"] = self.upstream_refused
+        doc["connections"] = self._conn_index
+        return doc
+
+
+def _abort_transport(writer: asyncio.StreamWriter) -> None:
+    """RST the connection: drop buffered data, no FIN handshake."""
+    transport = writer.transport
+    if transport is not None:
+        transport.abort()
+
+
+async def _close(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+__all__ = [
+    "ChaosProxy",
+    "FAULT_WEIGHTS",
+    "FaultPlan",
+    "MAX_DRIP_CHUNKS",
+    "MAX_INJECTED_DELAY",
+]

@@ -7,6 +7,14 @@ test suite, the protocol fuzzer, and ad-hoc scripting.
 drives at target RPS.  Both speak the exact protocol of
 :mod:`repro.service.protocol`, including CRC validation of every
 response frame.
+
+Neither client can hang: connects and request/reply exchanges are
+bounded by explicit timeouts (``asyncio.wait_for`` on the async path,
+socket timeouts on the blocking one), and a per-request ``deadline``
+both stamps the wire deadline field — so the server can shed the
+request once the budget lapses — and caps how long the client waits
+for the reply (budget plus a small grace so a shed reply still
+arrives).
 """
 
 from __future__ import annotations
@@ -31,6 +39,17 @@ from repro.service.protocol import (
     Response,
     WireError,
 )
+
+#: Default bound on one async request/reply exchange.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Default bound on an async connection attempt.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Extra wait beyond a request's deadline: a request shed at exactly
+#: its budget still needs its ``STATUS_DEADLINE`` reply to cross the
+#: wire, so the client listens slightly past the deadline itself.
+DEADLINE_GRACE = 1.0
 
 
 class ServiceError(RuntimeError):
@@ -122,21 +141,37 @@ class ServiceClient:
         codec: str = "",
         payload: bytes = b"",
         trace_id: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> Response:
         """One request/response exchange.
 
         Passing ``trace_id`` stamps the request as *traced*: the server
         threads a span timeline through its pipeline and embeds it in
-        the reply's trace annex (``response.trace()``).
+        the reply's trace annex (``response.trace()``).  Passing
+        ``deadline`` (seconds) stamps the wire deadline field — the
+        server sheds the request with ``STATUS_DEADLINE`` if its queue
+        wait exceeds the budget — and tightens the socket timeout to
+        ``deadline`` plus a grace window, so the client never waits
+        materially past its own budget.
         """
         request_id = next(self._ids)
         body = protocol.encode_request(Request(
             op=op, request_id=request_id, codec=codec, payload=payload,
             traced=trace_id is not None,
             trace_id=trace_id if trace_id is not None else 0,
+            deadline_us=(
+                int(deadline * 1e6) if deadline is not None else None
+            ),
         ))
-        self._sock.sendall(protocol.pack_message(body))
-        response = recv_response(self._sock)
+        previous_timeout = self._sock.gettimeout()
+        if deadline is not None:
+            self._sock.settimeout(deadline + DEADLINE_GRACE)
+        try:
+            self._sock.sendall(protocol.pack_message(body))
+            response = recv_response(self._sock)
+        finally:
+            if deadline is not None:
+                self._sock.settimeout(previous_timeout)
         if response.request_id not in (request_id, 0):
             raise WireError(
                 f"response for request {response.request_id}, "
@@ -175,7 +210,13 @@ class ServiceClient:
 
 
 class AsyncServiceClient:
-    """Asyncio client; one in-flight request per instance."""
+    """Asyncio client; one in-flight request per instance.
+
+    Every await is bounded: ``connect`` and ``request`` wrap their I/O
+    in ``asyncio.wait_for``, so a stalled peer (SYN black hole, a
+    server that accepts and never replies, a mid-frame stall) surfaces
+    as ``asyncio.TimeoutError`` instead of hanging the caller forever.
+    """
 
     def __init__(self, reader, writer) -> None:
         self._reader = reader
@@ -183,10 +224,17 @@ class AsyncServiceClient:
         self._ids = itertools.count(1)
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> "AsyncServiceClient":
         import asyncio
 
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
         return cls(reader, writer)
 
     async def request(
@@ -195,13 +243,44 @@ class AsyncServiceClient:
         codec: str = "",
         payload: bytes = b"",
         trace_id: Optional[int] = None,
+        timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        deadline: Optional[float] = None,
     ) -> Response:
+        """One exchange, bounded by ``timeout`` (``None`` = unbounded).
+
+        ``deadline`` stamps the wire deadline field and caps the
+        effective timeout at ``deadline`` plus a grace window, so the
+        shed reply itself can still arrive.
+        """
+        import asyncio
+
         request_id = next(self._ids)
         body = protocol.encode_request(Request(
             op=op, request_id=request_id, codec=codec, payload=payload,
             traced=trace_id is not None,
             trace_id=trace_id if trace_id is not None else 0,
+            deadline_us=(
+                int(deadline * 1e6) if deadline is not None else None
+            ),
         ))
+        effective = timeout
+        if deadline is not None:
+            capped = deadline + DEADLINE_GRACE
+            effective = capped if effective is None else min(
+                effective, capped
+            )
+        response = await asyncio.wait_for(
+            self._exchange(body), timeout=effective
+        )
+        if response.request_id not in (request_id, 0):
+            raise WireError(
+                f"response for request {response.request_id}, "
+                f"expected {request_id}",
+                fatal=True,
+            )
+        return response
+
+    async def _exchange(self, body: bytes) -> Response:
         self._writer.write(protocol.pack_message(body))
         await self._writer.drain()
         reply = await protocol.read_message(self._reader)
@@ -222,33 +301,53 @@ class AsyncServiceClient:
 
 
 def wait_for_service(
-    host: str, port: int, timeout: float = 10.0
+    host: str,
+    port: int,
+    timeout: float = 10.0,
+    probe_timeout: float = 2.0,
+    policy: Optional["RetryPolicy"] = None,
 ) -> bool:
     """Poll until a daemon answers ``health`` (or the timeout lapses).
 
     Lets scripts race-free ``repro serve & repro loadgen``: the load
     generator waits for the daemon to come up instead of failing on the
-    first connection refusal.
+    first connection refusal.  Probes are paced by a seeded
+    :class:`~repro.service.retry.RetryPolicy` (short first retry,
+    exponential backoff, deterministic jitter) instead of a fixed poll
+    interval — a daemon that boots fast is noticed fast, and a slow one
+    is not hammered.  ``probe_timeout`` bounds each individual health
+    round-trip.
     """
     import time
 
     from repro.obs.clock import perf_seconds
+    from repro.service.retry import RetryPolicy
 
+    if policy is None:
+        policy = RetryPolicy(
+            max_attempts=None, base_delay=0.02, multiplier=1.7,
+            max_delay=0.5, jitter=0.25, seed=0,
+        )
     deadline = perf_seconds() + timeout
+    delays = policy.delays()
     while True:
         try:
-            with ServiceClient(host, port, timeout=2.0) as client:
+            with ServiceClient(host, port, timeout=probe_timeout) as client:
                 if client.health().get("status") == "ok":
                     return True
         except (OSError, CorruptedStreamError, ServiceError):
             pass
-        if perf_seconds() >= deadline:
+        remaining = deadline - perf_seconds()
+        if remaining <= 0:
             return False
-        time.sleep(0.1)
+        time.sleep(min(next(delays, policy.max_delay), remaining))
 
 
 __all__ = [
     "AsyncServiceClient",
+    "DEADLINE_GRACE",
+    "DEFAULT_CONNECT_TIMEOUT",
+    "DEFAULT_REQUEST_TIMEOUT",
     "ServiceClient",
     "ServiceError",
     "recv_response",

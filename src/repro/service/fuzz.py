@@ -239,6 +239,63 @@ def _case_traced_truncated(rng: random.Random) -> bytes:
     return pack_message(stub)
 
 
+def _case_deadline_probe(rng: random.Random) -> bytes:
+    # A valid request stamped with a generous deadline (seconds of
+    # budget), sometimes traced as well: the extra header field must be
+    # parsed, honoured, and never break execution.
+    payload = bytes(rng.randrange(256) for _ in range(rng.randrange(16, 96)))
+    traced = rng.random() < 0.5
+    return pack_message(encode_request(Request(
+        op=OP_COMPRESS,
+        request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish",
+        payload=payload,
+        traced=traced,
+        trace_id=rng.getrandbits(64) if traced else 0,
+        deadline_us=rng.choice((
+            10_000_000, 60_000_000, 0xFFFFFFFF,
+        )),
+    )))
+
+
+def _case_deadline_expired(rng: random.Random) -> bytes:
+    # A zero-microsecond budget is lapsed by the time the dispatcher
+    # drains the queue: the server must shed it with the typed
+    # ``deadline`` status — a structured rejection, never dead codec
+    # work, never an internal error.
+    return pack_message(encode_request(Request(
+        op=OP_COMPRESS,
+        request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish",
+        payload=bytes(rng.randrange(256) for _ in range(32)),
+        deadline_us=0,
+    )))
+
+
+def _case_deadline_flag_on_malformed(rng: random.Random) -> bytes:
+    # Set the deadline flag on a frame encoded *without* the deadline
+    # field: the parser reads what used to be request-id/codec bytes as
+    # the deadline header and must reject the leftover schema
+    # structurally.
+    body = bytearray(encode_request(Request(
+        op=rng.choice((OP_COMPRESS, OP_DECOMPRESS)),
+        request_id=rng.randrange(1, 1 << 31),
+        codec="gzipish",
+        payload=bytes(rng.randrange(256) for _ in range(rng.randrange(32))),
+    )))
+    body[0] |= protocol.FLAG_DEADLINE
+    return pack_message(bytes(body))
+
+
+def _case_deadline_truncated(rng: random.Random) -> bytes:
+    # A deadline-stamped header that stops mid-field: shorter than the
+    # 10-byte minimum a deadline-stamped request needs.
+    stub = bytes([OP_COMPRESS | protocol.FLAG_DEADLINE]) + bytes(
+        rng.randrange(256) for _ in range(rng.randrange(0, 9))
+    )
+    return pack_message(stub)
+
+
 CASES: List[Tuple[str, Callable[[random.Random], bytes], str]] = [
     ("garbage", _case_garbage, EXPECT_ERROR),
     ("truncated", _case_truncated, EXPECT_ERROR),
@@ -252,8 +309,13 @@ CASES: List[Tuple[str, Callable[[random.Random], bytes], str]] = [
     ("corrupt-archive", _case_corrupt_archive, EXPECT_ERROR),
     ("trace-flag-malformed", _case_trace_flag_on_malformed, EXPECT_ERROR),
     ("traced-truncated", _case_traced_truncated, EXPECT_ERROR),
+    ("deadline-expired", _case_deadline_expired, EXPECT_ERROR),
+    ("deadline-flag-malformed", _case_deadline_flag_on_malformed,
+     EXPECT_ERROR),
+    ("deadline-truncated", _case_deadline_truncated, EXPECT_ERROR),
     ("valid-probe", _valid_request, EXPECT_OK),
     ("traced-probe", _case_traced_probe, EXPECT_OK),
+    ("deadline-probe", _case_deadline_probe, EXPECT_OK),
 ]
 
 

@@ -15,6 +15,17 @@ actually sustained:
 * with ``--sweep``, the **saturation point**: the rate is doubled until
   achieved throughput falls below the sustain threshold.
 
+Resilience mode: passing a :class:`~repro.service.retry.RetryPolicy`
+(plus, optionally, a shared :class:`~repro.service.retry.CircuitBreaker`
+and a per-request ``request_deadline``) switches the workers onto the
+typed-outcome taxonomy — every sent request lands in exactly one
+bucket: ``ok``, ``retried_ok`` (succeeded after >= 1 retry), ``busy`` /
+``deadline`` (typed sheds that survived the retry budget), ``breaker_open``
+(refused locally, no wire attempt), ``connection_faults`` / ``timeouts``
+(transport failures that exhausted retries), ``service_errors`` /
+``internal_errors`` (structured rejections — fatal, never retried).
+Without a policy the legacy single-attempt semantics are unchanged.
+
 Pacing is open-loop per connection: each of ``connections`` asyncio
 workers owns an equal slice of the target rate and schedules sends on a
 fixed interval grid, so a slow reply delays that worker's next send but
@@ -40,8 +51,10 @@ from repro.service.protocol import (
     OP_HEALTH,
     OP_STATS,
     STATUS_BUSY,
+    STATUS_DEADLINE,
     STATUS_OK,
 )
+from repro.service.retry import CircuitBreaker, RetryPolicy
 
 #: Fraction of the target rate a run must sustain to count as
 #: unsaturated.
@@ -118,6 +131,18 @@ class LoadgenReport:
     busy: int = 0
     service_errors: int = 0
     protocol_errors: int = 0
+    #: Resilience-mode buckets (stay zero on the legacy path).
+    retried_ok: int = 0
+    deadline_shed: int = 0
+    breaker_open: int = 0
+    connection_faults: int = 0
+    timeouts: int = 0
+    internal_errors: int = 0
+    #: Retry *attempts* spent (informational, not an outcome bucket).
+    retries: int = 0
+    #: Breaker lifetime transitions, copied off the shared breaker.
+    breaker_opened: int = 0
+    breaker_reclosed: int = 0
     elapsed: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
     error_samples: List[str] = field(default_factory=list)
@@ -129,12 +154,27 @@ class LoadgenReport:
 
     @property
     def achieved_rps(self) -> float:
-        return self.ok / self.elapsed if self.elapsed > 0 else 0.0
+        succeeded = self.ok + self.retried_ok
+        return succeeded / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
     def error_rate(self) -> float:
-        failed = self.service_errors + self.protocol_errors
+        failed = (self.service_errors + self.internal_errors
+                  + self.protocol_errors)
         return failed / self.sent if self.sent else 0.0
+
+    @property
+    def outcomes_total(self) -> int:
+        """Sum over every outcome bucket.
+
+        The accounting invariant the soak driver asserts: every sent
+        request ends in exactly one typed outcome, so this must equal
+        ``sent``.
+        """
+        return (self.ok + self.retried_ok + self.busy + self.deadline_shed
+                + self.breaker_open + self.connection_faults + self.timeouts
+                + self.service_errors + self.internal_errors
+                + self.protocol_errors)
 
     @property
     def saturated(self) -> bool:
@@ -157,9 +197,20 @@ class LoadgenReport:
             "seed": self.seed,
             "requests_sent": self.sent,
             "ok": self.ok,
+            "retried_ok": self.retried_ok,
             "busy": self.busy,
+            "deadline": self.deadline_shed,
+            "breaker_open": self.breaker_open,
+            "connection_faults": self.connection_faults,
+            "timeouts": self.timeouts,
             "service_errors": self.service_errors,
+            "internal_errors": self.internal_errors,
             "protocol_errors": self.protocol_errors,
+            "retries": self.retries,
+            "breaker": {
+                "opened": self.breaker_opened,
+                "reclosed": self.breaker_reclosed,
+            },
             "error_rate": round(self.error_rate, 6),
             "saturated": self.saturated,
             "latency_ms": {
@@ -198,6 +249,24 @@ class LoadgenReport:
             ("errors", f"{self.service_errors} service / "
                        f"{self.protocol_errors} protocol "
                        f"({100 * self.error_rate:.2f}%)"),
+        ]
+        resilient = (self.retried_ok + self.deadline_shed
+                     + self.breaker_open + self.connection_faults
+                     + self.timeouts + self.internal_errors + self.retries)
+        if resilient:
+            rows = list(rows) + [
+                ("retried ok", f"{self.retried_ok} "
+                               f"({self.retries} retry attempts)"),
+                ("shed", f"{self.busy} busy / "
+                         f"{self.deadline_shed} deadline"),
+                ("faults", f"{self.connection_faults} connection / "
+                           f"{self.timeouts} timeout / "
+                           f"{self.internal_errors} internal"),
+                ("breaker", f"{self.breaker_open} refused "
+                            f"(opened {self.breaker_opened}x, "
+                            f"reclosed {self.breaker_reclosed}x)"),
+            ]
+        rows = list(rows) + [
             ("latency p50", f"{latency['p50']:.2f} ms"),
             ("latency p95", f"{latency['p95']:.2f} ms"),
             ("latency p99", f"{latency['p99']:.2f} ms"),
@@ -269,6 +338,11 @@ def write_stats_json(report: LoadgenReport, path: str) -> None:
         handle.write("\n")
 
 
+def _sample(report: LoadgenReport, message: str) -> None:
+    if len(report.error_samples) < 16:
+        report.error_samples.append(message)
+
+
 async def _worker(
     host: str,
     port: int,
@@ -279,7 +353,19 @@ async def _worker(
     start_at: float,
     rng: random.Random,
     report: LoadgenReport,
+    request_timeout: float = REQUEST_TIMEOUT,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    request_deadline: Optional[float] = None,
 ) -> None:
+    """One paced connection worth of load.
+
+    Without ``policy`` this is the legacy single-attempt path: any
+    transport failure is a protocol error.  With a policy, transport
+    failures and ``busy`` sheds are retried on the policy's seeded
+    backoff schedule, the shared ``breaker`` refuses sends while open,
+    and every request lands in exactly one typed outcome bucket.
+    """
     client: Optional[AsyncServiceClient] = None
     interval = 1.0 / rate if rate > 0 else 0.0
     next_send = start_at
@@ -292,43 +378,85 @@ async def _worker(
         next_send = max(next_send + interval, perf_seconds())
         unit = rng.choices(units, weights=weights)[0]
         report.sent += 1
-        started = perf_seconds()
-        try:
-            if client is None:
-                client = await AsyncServiceClient.connect(host, port)
-            response = await asyncio.wait_for(
-                client.request(unit.op, unit.codec, unit.payload),
-                timeout=REQUEST_TIMEOUT,
-            )
-        except (CorruptedStreamError, asyncio.TimeoutError,
-                ConnectionError, OSError) as error:
-            report.protocol_errors += 1
-            if len(report.error_samples) < 16:
-                report.error_samples.append(
-                    f"{unit.label}: {type(error).__name__}: {error}"
-                )
-            if client is not None:
-                await client.close()
-                client = None
+        if breaker is not None and not breaker.allow():
+            report.breaker_open += 1
             continue
-        latency_ms = (perf_seconds() - started) * 1000.0
-        report.latencies_ms.append(latency_ms)
-        if response.status == STATUS_OK:
-            report.ok += 1
-        elif response.status == STATUS_BUSY:
-            report.busy += 1
-        else:
-            report.service_errors += 1
-            if len(report.error_samples) < 16:
-                report.error_samples.append(
-                    f"{unit.label}: [{response.category}] "
-                    f"{response.message}"
+        delays = policy.delays() if policy is not None else iter(())
+        attempts = 0
+        started = perf_seconds()
+        while True:
+            attempts += 1
+            try:
+                if client is None:
+                    client = await AsyncServiceClient.connect(
+                        host, port, timeout=request_timeout
+                    )
+                response = await client.request(
+                    unit.op, unit.codec, unit.payload,
+                    timeout=request_timeout,
+                    deadline=request_deadline,
                 )
+            except (CorruptedStreamError, asyncio.TimeoutError,
+                    ConnectionError, OSError) as error:
+                if breaker is not None:
+                    breaker.record_failure()
+                if client is not None:
+                    await client.close()
+                    client = None
+                if policy is None:
+                    report.protocol_errors += 1
+                    _sample(report, f"{unit.label}: "
+                                    f"{type(error).__name__}: {error}")
+                    break
+                delay = next(delays, None)
+                if delay is not None and (
+                    breaker is None or breaker.allow()
+                ):
+                    report.retries += 1
+                    await asyncio.sleep(delay)
+                    continue
+                if isinstance(error, asyncio.TimeoutError):
+                    report.timeouts += 1
+                else:
+                    report.connection_faults += 1
+                _sample(report, f"{unit.label}: "
+                                f"{type(error).__name__}: {error}")
+                break
+            if breaker is not None:
+                breaker.record_success()
+            if response.status == STATUS_BUSY and policy is not None:
+                delay = next(delays, None)
+                if delay is not None:
+                    report.retries += 1
+                    await asyncio.sleep(delay)
+                    continue
+            report.latencies_ms.append(
+                (perf_seconds() - started) * 1000.0
+            )
+            if response.status == STATUS_OK:
+                if attempts > 1:
+                    report.retried_ok += 1
+                else:
+                    report.ok += 1
+            elif response.status == STATUS_BUSY:
+                report.busy += 1
+            elif response.status == STATUS_DEADLINE:
+                # The budget already lapsed: retrying cannot beat a
+                # clock that has run out, so the shed is terminal.
+                report.deadline_shed += 1
+            else:
+                if policy is not None and response.category == "internal":
+                    report.internal_errors += 1
+                else:
+                    report.service_errors += 1
+                _sample(report, f"{unit.label}: [{response.category}] "
+                                f"{response.message}")
+            break
     if client is not None:
         await client.close()
 
 
-async def _run(
+async def run_loadgen_async(
     host: str,
     port: int,
     rps: float,
@@ -336,7 +464,15 @@ async def _run(
     connections: int,
     seed: int,
     units: Sequence[WorkUnit],
+    retry: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    request_deadline: Optional[float] = None,
+    request_timeout: float = REQUEST_TIMEOUT,
+    fetch_stats: bool = True,
 ) -> LoadgenReport:
+    """The loadgen burst as a coroutine, for callers with their own loop
+    (the soak driver runs the chaos proxy and the workers on one loop).
+    """
     report = LoadgenReport(
         target_rps=rps, duration=duration,
         connections=connections, seed=seed,
@@ -352,12 +488,20 @@ async def _run(
             start + (index / connections) / per_worker,
             random.Random(seed * 1_000_003 + index),
             report,
+            request_timeout=request_timeout,
+            policy=retry,
+            breaker=breaker,
+            request_deadline=request_deadline,
         ))
         for index in range(connections)
     ]
     await asyncio.gather(*tasks)
     report.elapsed = perf_seconds() - start
-    report.service_stats = await _fetch_stats(host, port)
+    if breaker is not None:
+        report.breaker_opened = breaker.opened
+        report.breaker_reclosed = breaker.reclosed
+    if fetch_stats:
+        report.service_stats = await _fetch_stats(host, port)
     return report
 
 
@@ -392,6 +536,10 @@ def run_loadgen(
     connections: int = 8,
     seed: int = 0,
     units: Optional[Sequence[WorkUnit]] = None,
+    retry: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    request_deadline: Optional[float] = None,
+    request_timeout: float = REQUEST_TIMEOUT,
 ) -> LoadgenReport:
     """Run one paced burst against a live daemon; see the module doc."""
     if rps <= 0 or duration <= 0:
@@ -399,9 +547,12 @@ def run_loadgen(
     connections = max(1, min(connections, int(rps) or 1))
     if units is None:
         units = build_workload(seed)
-    return asyncio.run(
-        _run(host, port, rps, duration, connections, seed, list(units))
-    )
+    return asyncio.run(run_loadgen_async(
+        host, port, rps, duration, connections, seed, list(units),
+        retry=retry, breaker=breaker,
+        request_deadline=request_deadline,
+        request_timeout=request_timeout,
+    ))
 
 
 def find_saturation(
@@ -443,6 +594,7 @@ __all__ = [
     "build_workload",
     "find_saturation",
     "run_loadgen",
+    "run_loadgen_async",
     "slo_breaches",
     "write_stats_json",
 ]

@@ -35,9 +35,23 @@ the normal body::
 
     ... normal response body ... | u32 trace_len | trace JSON
 
-Untagged frames never carry either field, so pre-trace clients and
-servers interoperate with traced ones unchanged; a server only sets
-the flag on a response when the request asked for it.
+**Deadlines** use the same optional-flag scheme on the next op-byte
+bit (:data:`FLAG_DEADLINE`): a deadline-stamped request inserts a
+``u32 deadline_us`` — the client's *remaining time budget* in
+microseconds, relative so no clock synchronisation is assumed — after
+the trace id (when traced) and before the request id::
+
+    u8 (op|0x40) | [u64 trace_id] | u32 deadline_us | u32 request_id | ...
+
+A server that drains such a request from its queue after the budget
+has already lapsed replies ``STATUS_DEADLINE`` instead of doing dead
+work the client has stopped waiting for.
+
+Untagged frames never carry either field, so pre-trace and
+pre-deadline clients and servers interoperate with current ones
+unchanged (the bytes are identical); a server only sets the trace flag
+on a response when the request asked for it, and responses never carry
+a deadline field.
 
 ``request_id`` is an opaque client token echoed in the response, so a
 client may pipeline requests on one connection and match replies out of
@@ -91,11 +105,26 @@ OP_NAMES = {
 #: High bit of the op byte: this message carries trace fields.
 FLAG_TRACED = 0x80
 
+#: Second-highest bit: this request carries a ``u32 deadline_us``
+#: remaining-time budget (requests only; responses never set it).
+FLAG_DEADLINE = 0x40
+
+#: Mask selecting the op number out of a flagged op byte.
+_OP_MASK = 0xFF & ~(FLAG_TRACED | FLAG_DEADLINE)
+
 STATUS_OK = 0
 STATUS_ERROR = 1
 STATUS_BUSY = 2
+#: The request's client-stamped deadline lapsed while it sat in the
+#: server queue; the work was shed instead of executed.
+STATUS_DEADLINE = 3
 
-STATUS_NAMES = {STATUS_OK: "ok", STATUS_ERROR: "error", STATUS_BUSY: "busy"}
+STATUS_NAMES = {
+    STATUS_OK: "ok",
+    STATUS_ERROR: "error",
+    STATUS_BUSY: "busy",
+    STATUS_DEADLINE: "deadline",
+}
 
 _LENGTH = struct.Struct(">I")
 
@@ -129,7 +158,10 @@ class Request:
 
     ``traced`` requests carry a client-stamped ``trace_id`` and are
     answered with a traced response (the server's span timeline
-    embedded as an annex).
+    embedded as an annex).  ``deadline_us`` is the client's remaining
+    time budget in microseconds (``None`` when unstamped): a server may
+    shed the request with :data:`STATUS_DEADLINE` once the budget has
+    lapsed in its queue.
     """
 
     op: int
@@ -138,6 +170,7 @@ class Request:
     payload: bytes = b""
     traced: bool = False
     trace_id: int = 0
+    deadline_us: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -195,19 +228,22 @@ def encode_request(request: Request) -> bytes:
         raise ValueError("codec name exceeds 255 bytes")
     if not 0 <= request.request_id <= 0xFFFFFFFF:
         raise ValueError("request_id must fit in a u32")
+    op = request.op
+    parts = []
     if request.traced:
         if not 0 <= request.trace_id <= 0xFFFFFFFFFFFFFFFF:
             raise ValueError("trace_id must fit in a u64")
-        head = struct.pack(
-            ">BQIB", request.op | FLAG_TRACED, request.trace_id,
-            request.request_id, len(codec),
-        )
-    else:
-        head = struct.pack(
-            ">BIB", request.op, request.request_id, len(codec)
-        )
+        op |= FLAG_TRACED
+        parts.append(struct.pack(">Q", request.trace_id))
+    if request.deadline_us is not None:
+        if not 0 <= request.deadline_us <= 0xFFFFFFFF:
+            raise ValueError("deadline_us must fit in a u32")
+        op |= FLAG_DEADLINE
+        parts.append(_LENGTH.pack(request.deadline_us))
     return b"".join((
-        head,
+        struct.pack(">B", op),
+        *parts,
+        struct.pack(">IB", request.request_id, len(codec)),
         codec,
         _LENGTH.pack(len(request.payload)),
         request.payload,
@@ -225,28 +261,26 @@ def decode_request(body: bytes) -> Request:
                 category=CATEGORY_TRUNCATED,
             )
         traced = bool(body[0] & FLAG_TRACED)
-        trace_id = 0
-        if traced:
-            if len(body) < 14:
-                raise WireError(
-                    f"traced request header needs 14 bytes, got {len(body)}",
-                    offset=len(body),
-                    category=CATEGORY_TRUNCATED,
-                )
-            op, trace_id, request_id, codec_len = struct.unpack_from(
-                ">BQIB", body
+        stamped = bool(body[0] & FLAG_DEADLINE)
+        head_len = 6 + (8 if traced else 0) + (4 if stamped else 0)
+        if len(body) < head_len:
+            raise WireError(
+                f"request header needs {head_len} bytes, got {len(body)}",
+                offset=len(body),
+                category=CATEGORY_TRUNCATED,
             )
-            op &= ~FLAG_TRACED
-            pos = 14
-        else:
-            if len(body) < 6:
-                raise WireError(
-                    f"request header needs 6 bytes, got {len(body)}",
-                    offset=len(body),
-                    category=CATEGORY_TRUNCATED,
-                )
-            op, request_id, codec_len = struct.unpack_from(">BIB", body)
-            pos = 6
+        op = body[0] & _OP_MASK
+        pos = 1
+        trace_id = 0
+        deadline_us: Optional[int] = None
+        if traced:
+            (trace_id,) = struct.unpack_from(">Q", body, pos)
+            pos += 8
+        if stamped:
+            (deadline_us,) = _LENGTH.unpack_from(body, pos)
+            pos += 4
+        request_id, codec_len = struct.unpack_from(">IB", body, pos)
+        pos += 5
         if op not in OPS:
             raise WireError(
                 f"unknown op {op}",
@@ -285,6 +319,7 @@ def decode_request(body: bytes) -> Request:
             payload=body[pos:],
             traced=traced,
             trace_id=trace_id,
+            deadline_us=deadline_us,
         )
 
 
@@ -326,7 +361,7 @@ def decode_response(body: bytes) -> Response:
             )
         op, status, request_id = struct.unpack_from(">BBI", body)
         traced = bool(op & FLAG_TRACED)
-        op &= ~FLAG_TRACED
+        op &= _OP_MASK
         pos = 6
         if status == STATUS_OK:
             if pos + 4 > len(body):
@@ -490,6 +525,7 @@ async def read_message(
 __all__ = [
     "DEFAULT_MAX_MESSAGE",
     "DEFAULT_PORT",
+    "FLAG_DEADLINE",
     "FLAG_TRACED",
     "OPS",
     "OP_COMPRESS",
@@ -501,6 +537,7 @@ __all__ = [
     "Request",
     "Response",
     "STATUS_BUSY",
+    "STATUS_DEADLINE",
     "STATUS_ERROR",
     "STATUS_NAMES",
     "STATUS_OK",

@@ -1,0 +1,212 @@
+"""Client-side failure policy: retries, taxonomy, circuit breaking.
+
+Three small, composable pieces shared by every service client path
+(the blocking client's ``wait_for_service`` probe loop, the load
+generator's workers, and the soak driver):
+
+* :class:`RetryPolicy` — seeded, deterministic exponential backoff
+  with bounded jitter.  Two policies built from the same seed yield the
+  same delay sequence, so a retried run replays exactly — the same
+  determinism contract every other seeded component in the repo keeps.
+* :func:`classify_failure` — the retryable-vs-fatal taxonomy over the
+  exceptions a request can raise.  Transport faults (resets, timeouts,
+  truncated or desynchronised streams) and explicit shed replies
+  (``busy``, ``deadline``) are *retryable*: the failure says nothing
+  about the request itself.  Structured ``error`` replies are *fatal*:
+  the server executed the request and rejected it, so an identical
+  retry earns an identical rejection.
+* :class:`CircuitBreaker` — consecutive transport failures trip the
+  breaker open; while open, calls are refused locally (a typed
+  ``breaker-open`` outcome, not a connection attempt) until the
+  recovery window lapses, then a limited number of half-open probes
+  decide between closing it again and re-opening.  This is what keeps
+  a retrying client from hammering a dead or draining server with
+  connect storms.
+
+Nothing here sleeps or connects on its own: the policy yields delays,
+the breaker answers ``allow()``, and the caller owns the loop — so the
+pieces work identically under asyncio and blocking sockets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.obs.clock import perf_seconds
+from repro.resilience.errors import CorruptedStreamError
+
+#: :func:`classify_failure` verdicts.
+RETRYABLE = "retryable"
+FATAL = "fatal"
+
+#: Breaker states.
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff: ``base * multiplier**n``, jittered.
+
+    ``max_attempts`` counts *total* tries including the first
+    (``None`` = unbounded, for time-capped loops like
+    ``wait_for_service``).  ``jitter`` is the +/- fraction applied to
+    each delay; the jitter stream comes from ``random.Random(seed)``,
+    so the full delay sequence is a pure function of the policy.
+    """
+
+    max_attempts: Optional[int] = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 (or None)")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delays *between* attempts, in order.
+
+        Yields ``max_attempts - 1`` values (unbounded when
+        ``max_attempts`` is ``None``): a policy of N attempts sleeps
+        N-1 times.
+        """
+        rng = random.Random(self.seed)
+        attempt = 0
+        while self.max_attempts is None or attempt < self.max_attempts - 1:
+            base = min(
+                self.max_delay, self.base_delay * self.multiplier ** attempt
+            )
+            yield base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+            attempt += 1
+
+
+def classify_failure(error: BaseException) -> str:
+    """``RETRYABLE`` or ``FATAL`` for one request failure.
+
+    Retryable: the transport broke (reset, timeout, truncated or
+    corrupted reply stream) or the server shed the request without
+    executing it (``busy`` backpressure, a lapsed ``deadline``).
+    Fatal: the server executed the request and returned a structured
+    ``error`` — retrying the same bytes reproduces the same rejection —
+    or the failure is a local programming error.
+    """
+    # Late import: client.py imports this module.
+    from repro.service.client import ServiceError
+    from repro.service.protocol import STATUS_BUSY, STATUS_DEADLINE
+
+    if isinstance(error, ServiceError):
+        if error.status in (STATUS_BUSY, STATUS_DEADLINE):
+            return RETRYABLE
+        return FATAL
+    if isinstance(error, (CorruptedStreamError, ConnectionError, OSError,
+                          TimeoutError)):
+        # WireError subclasses CorruptedStreamError; socket.timeout and
+        # asyncio.TimeoutError both subclass (or alias) TimeoutError on
+        # the supported interpreters.
+        return RETRYABLE
+    return FATAL
+
+
+class CircuitBreaker:
+    """Trip after N consecutive transport failures; probe to recover.
+
+    State machine (all transitions happen inside ``allow()`` /
+    ``record_*``, driven by the injected ``clock`` so tests control
+    time):
+
+    * ``closed`` — calls flow; ``failure_threshold`` consecutive
+      recorded failures open the breaker.
+    * ``open`` — ``allow()`` is ``False`` until ``recovery_time``
+      seconds pass, then the breaker goes half-open.
+    * ``half-open`` — up to ``half_open_probes`` calls are allowed
+      through; one success closes the breaker, one failure re-opens it
+      (restarting the recovery clock).
+
+    Single-threaded by design: the asyncio loadgen loop and the
+    blocking probe loop each own their breaker.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = perf_seconds,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time < 0:
+            raise ValueError("recovery_time must be non-negative")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self.state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        #: Lifetime transition counters (for reports).
+        self.opened = 0
+        self.reclosed = 0
+
+    def allow(self) -> bool:
+        """May the caller attempt a request now?"""
+        if self.state == STATE_OPEN:
+            if self._clock() - self._opened_at >= self.recovery_time:
+                self.state = STATE_HALF_OPEN
+                self._probes_inflight = 0
+            else:
+                return False
+        if self.state == STATE_HALF_OPEN:
+            if self._probes_inflight >= self.half_open_probes:
+                return False
+            self._probes_inflight += 1
+        return True
+
+    def record_success(self) -> None:
+        """The attempt reached the server and got a healthy reply."""
+        if self.state == STATE_HALF_OPEN:
+            self.reclosed += 1
+        self.state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        """The attempt failed at the transport layer."""
+        if self.state == STATE_HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = STATE_OPEN
+        self.opened += 1
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+
+
+__all__ = [
+    "CircuitBreaker",
+    "FATAL",
+    "RETRYABLE",
+    "RetryPolicy",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "classify_failure",
+]

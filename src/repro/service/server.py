@@ -25,6 +25,25 @@ Telemetry flows through :mod:`repro.obs`: request counters, queue-depth
 gauges, batch-size and per-op latency histograms (microseconds, fixed
 exponential buckets), all surfaced by the ``stats`` op as JSON with
 p50/p99 derived via :func:`repro.obs.metrics.histogram_quantile`.
+
+**Failure semantics.**  Two mechanisms keep the daemon honest under
+process and load faults:
+
+* *Graceful drain* — ``stop()`` (and SIGTERM under ``repro serve``)
+  sheds newly arriving codec requests with a ``busy``/``draining``
+  reply, answers **every** already-accepted request (queued and
+  in-flight), then closes the listener and tears the loop down — all
+  bounded by ``drain_deadline``.  The listener outlives the drain so
+  a connection the kernel accepted just before shutdown is served its
+  typed sheds instead of being orphaned mid-pipeline.  A clean drain flight-records a
+  ``drained`` event; a deadline overrun records ``force_closed`` with
+  the count of abandoned requests, so reply loss is never silent.
+* *Deadline shedding* — a request stamped with a wire deadline
+  (:data:`repro.service.protocol.FLAG_DEADLINE`) whose queue wait has
+  already consumed its budget is answered ``STATUS_DEADLINE`` at drain
+  time instead of being executed: the client has stopped waiting, so
+  running the codec would be dead work stealing executor time from
+  live requests.
 """
 
 from __future__ import annotations
@@ -56,6 +75,7 @@ from repro.service.protocol import (
     Request,
     Response,
     STATUS_BUSY,
+    STATUS_DEADLINE,
     STATUS_OK,
     WireError,
     error_response,
@@ -63,8 +83,9 @@ from repro.service.protocol import (
 from repro.service.registry import WarmModelRegistry
 
 #: ``stats`` response document schema version.  v2 added
-#: ``queue.inflight`` and the ``saturated`` flag on latency summaries.
-SERVICE_STATS_VERSION = 2
+#: ``queue.inflight`` and the ``saturated`` flag on latency summaries;
+#: v3 added ``queue.draining`` (graceful-drain in progress).
+SERVICE_STATS_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -97,6 +118,10 @@ class ServiceConfig:
     #: When set, the flight recorder is dumped (JSONL) to this path on
     #: every wire-protocol error — the busy-storm/fuzz-hang post-mortem.
     flightrec_dump: Optional[str] = None
+    #: Graceful-drain budget (seconds): on ``stop()`` the daemon stops
+    #: accepting, answers every queued and in-flight request, and only
+    #: force-closes whatever is still unanswered once this lapses.
+    drain_deadline: float = 10.0
 
 
 class _Connection:
@@ -146,6 +171,11 @@ class CodecService:
         self._started_ns = 0
         self._inflight = 0
         self._previous_recorder = None
+        self._draining = False
+        self._stopped = False
+        #: Set whenever no accepted request is awaiting its reply; the
+        #: drain path waits on it to honour "answer everything first".
+        self._idle: Optional[asyncio.Event] = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -156,6 +186,8 @@ class CodecService:
         if not get_recorder().enabled:
             self._previous_recorder = set_recorder(Recorder())
         self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="repro-service",
@@ -184,7 +216,50 @@ class CodecService:
         assert self._server is not None, "start() first"
         await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain_deadline: Optional[float] = None) -> None:
+        """Graceful shutdown: drain accepted work, then tear down.
+
+        The sequence is the SIGTERM contract: stop accepting (every new
+        codec request is shed with a ``draining`` busy reply), answer
+        every request already queued or in flight, then close the
+        listener and dismantle the dispatchers and executor.  The
+        listener stays open *through* the drain on purpose: closing it
+        first would orphan connections the kernel has accepted but the
+        event loop has not yet served — their pipelined requests would
+        never be read and the client would hang until its socket
+        timeout, exactly the silent failure drain exists to prevent.
+        Shedding at the application layer instead means a connection
+        racing the shutdown still gets a typed reply for everything it
+        sends.  The answer-everything phase is bounded by
+        ``drain_deadline`` (default: the config's); overrunning it
+        flight-records ``force_closed`` with the abandoned count
+        instead of waiting forever.  Idempotent — a second call
+        returns immediately.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        rec = get_recorder()
+        budget = (
+            self.config.drain_deadline
+            if drain_deadline is None else drain_deadline
+        )
+        pending = self._inflight
+        if self._idle is not None and pending:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=budget)
+            except asyncio.TimeoutError:
+                pass
+        # Yield twice before closing the listener: each yield is a
+        # selector poll, which delivers any accept event already queued
+        # for a connection sitting in the kernel backlog.  The accept
+        # callback runs ``sock.accept()`` synchronously, after which
+        # the connection has its own socket and handler and survives
+        # the listener close — its requests are then shed with typed
+        # ``draining`` replies rather than silently never read.
+        await asyncio.sleep(0)
+        await asyncio.sleep(0)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -192,6 +267,18 @@ class CodecService:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
             self._metrics_server = None
+        if self._inflight:
+            rec.count("service.drain.force_closed", self._inflight)
+            self.flightrec.record(
+                "force_closed",
+                abandoned=self._inflight,
+                drain_deadline_s=budget,
+            )
+        else:
+            rec.count("service.drain.completed")
+            self.flightrec.record(
+                "drained", pending_at_stop=pending, clean=True
+            )
         for task in self._dispatchers:
             task.cancel()
         for task in self._dispatchers:
@@ -206,6 +293,16 @@ class CodecService:
         if self._previous_recorder is not None:
             set_recorder(self._previous_recorder)
             self._previous_recorder = None
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown began (new codec work is being shed)."""
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Accepted requests not yet answered (queued + executing)."""
+        return self._inflight
 
     # -- connection handling -------------------------------------------
 
@@ -314,8 +411,12 @@ class CodecService:
         if request.op in (OP_HEALTH, OP_STATS, OP_DUMP):
             # Inline ops: answered on the event loop, never queued, so
             # their traced timeline is a single "inline" segment.
+            # Answered even while draining — observability must outlive
+            # codec intake — but health says so, which is what makes
+            # ``wait_for_service`` treat a draining daemon as down.
             if request.op == OP_HEALTH:
-                payload = json.dumps({"status": "ok"}).encode()
+                status_text = "draining" if self._draining else "ok"
+                payload = json.dumps({"status": status_text}).encode()
             elif request.op == OP_STATS:
                 payload = json.dumps(
                     self.stats_document(), sort_keys=True
@@ -330,6 +431,22 @@ class CodecService:
             ), trace, "inline")
             await self._send(conn, response)
             self._observe_latency(OP_NAMES[request.op], started)
+            return
+        if self._draining:
+            # Stop accepting: every request that reaches the queue is
+            # owed a reply before shutdown completes, so during drain
+            # nothing new gets in — it is shed with a typed busy reply
+            # the client's retry policy treats as retryable.
+            rec.count("service.shed.draining")
+            self.flightrec.record(
+                "shed", reason="draining",
+                request_id=request.request_id, op=OP_NAMES[request.op],
+            )
+            await self._send(conn, self._finish_trace(error_response(
+                request.op, request.request_id, "draining",
+                "service is draining for shutdown",
+                status=STATUS_BUSY,
+            ), trace, "reply"))
             return
         if conn.inflight >= self.config.max_inflight:
             rec.count("service.busy.connection")
@@ -374,6 +491,8 @@ class CodecService:
         conn.inflight += 1
         self._inflight += 1
         conn.idle.clear()
+        if self._idle is not None:
+            self._idle.clear()
         rec.gauge("service.queue_depth", self._queue.qsize())
 
     # -- dispatch + execution ------------------------------------------
@@ -396,6 +515,37 @@ class CodecService:
                     it.trace.mark("queue_wait")
             rec.observe("service.batch_size", len(batch))
             rec.count("service.batches")
+            # Deadline-aware load shedding: a request whose queue wait
+            # already consumed its client-stamped budget gets a typed
+            # STATUS_DEADLINE reply instead of executor time — the
+            # client stopped waiting, so the codec work would be dead.
+            live = []
+            for it in batch:
+                deadline_us = it.request.deadline_us
+                if (
+                    deadline_us is not None
+                    and monotonic_ns() - it.accepted_ns > deadline_us * 1000
+                ):
+                    rec.count("service.shed.deadline")
+                    self.flightrec.record(
+                        "shed", reason="deadline",
+                        request_id=it.request.request_id,
+                        op=OP_NAMES[it.request.op],
+                        deadline_us=deadline_us,
+                        queue_wait_us=(monotonic_ns() - it.accepted_ns)
+                        // 1000,
+                    )
+                    await self._reply(it, error_response(
+                        it.request.op, it.request.request_id, "deadline",
+                        f"queue wait exceeded the {deadline_us} us "
+                        "request deadline",
+                        status=STATUS_DEADLINE,
+                    ))
+                else:
+                    live.append(it)
+            batch = live
+            if not batch:
+                continue
             # Group the drain by (op, codec, payload digest): every
             # member of a group is the *same* work, so each group runs
             # as one executor task through the codec's batch entry
@@ -440,34 +590,39 @@ class CodecService:
                         for it in group
                     ]
                 for it, response in zip(group, result):
-                    self._observe_latency(
-                        OP_NAMES[it.request.op], it.accepted_ns
-                    )
-                    # Closes codec→reply: executor hand-back plus the
-                    # reply fan-out wait on the event loop.  The annex
-                    # travels inside the reply, so the segment ends at
-                    # annex-encode time; the socket write that follows
-                    # is the (untraceable) remainder of wire latency.
-                    response = self._finish_trace(
-                        response, it.trace, "reply"
-                    )
-                    self.flightrec.record(
-                        "reply",
-                        request_id=it.request.request_id,
-                        op=OP_NAMES[it.request.op],
-                        status=protocol.STATUS_NAMES[response.status],
-                        latency_us=(monotonic_ns() - it.accepted_ns)
-                        // 1000,
-                    )
-                    await self._send(it.conn, response)
-                    # Decrement only after the reply went out: the
-                    # reader side waits on `idle` before closing the
-                    # writer, and an early decrement would let the
-                    # close race the send.
-                    it.conn.inflight -= 1
-                    self._inflight -= 1
-                    if it.conn.inflight == 0:
-                        it.conn.idle.set()
+                    await self._reply(it, response)
+
+    async def _reply(self, it: _WorkItem, response: Response) -> None:
+        """Answer one accepted work item and release its accounting.
+
+        The single exit path for anything that entered the queue —
+        executed, errored, or shed — so latency observation, trace
+        annex embedding, flight recording, and the in-flight decrement
+        cannot drift apart between outcomes.
+        """
+        self._observe_latency(OP_NAMES[it.request.op], it.accepted_ns)
+        # Closes codec→reply: executor hand-back plus the reply fan-out
+        # wait on the event loop.  The annex travels inside the reply,
+        # so the segment ends at annex-encode time; the socket write
+        # that follows is the (untraceable) remainder of wire latency.
+        response = self._finish_trace(response, it.trace, "reply")
+        self.flightrec.record(
+            "reply",
+            request_id=it.request.request_id,
+            op=OP_NAMES[it.request.op],
+            status=protocol.STATUS_NAMES[response.status],
+            latency_us=(monotonic_ns() - it.accepted_ns) // 1000,
+        )
+        await self._send(it.conn, response)
+        # Decrement only after the reply went out: the reader side
+        # waits on `idle` before closing the writer, and an early
+        # decrement would let the close race the send.
+        it.conn.inflight -= 1
+        self._inflight -= 1
+        if it.conn.inflight == 0:
+            it.conn.idle.set()
+        if self._inflight == 0 and self._idle is not None:
+            self._idle.set()
 
     def _execute_group(self, items: List[_WorkItem]) -> List[Response]:
         """Run one group of identical codec requests (executor thread).
@@ -597,6 +752,7 @@ class CodecService:
                     "service.queue_depth", 0
                 ),
                 "inflight": self._inflight,
+                "draining": self._draining,
             },
             "registry": self.registry.stats(),
         }
@@ -702,6 +858,30 @@ class ServerThread:
             await self._stop_event.wait()
         finally:
             await self.service.stop()
+
+    def drain(
+        self,
+        drain_deadline: Optional[float] = None,
+        timeout: float = 30.0,
+    ) -> bool:
+        """Run a graceful drain from any thread (the SIGTERM analogue).
+
+        Schedules :meth:`CodecService.stop` on the service loop and
+        blocks until the drain completes (or ``timeout`` lapses).  The
+        loop itself keeps running — already-open connections can still
+        read their final replies — until :meth:`stop` is called.
+        Returns ``True`` when the drain ran to completion.
+        """
+        if self._loop is None or self.service is None:
+            return False
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain_deadline), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+        except Exception:
+            return False
+        return True
 
     def stop(self) -> None:
         if self._loop is not None and self._stop_event is not None:

@@ -79,7 +79,7 @@ class TestRoundTrips:
             "schema_version", "uptime_seconds", "codecs", "counters",
             "latency_us", "batch", "queue", "registry",
         }
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == 3
         assert "gzipish" in doc["codecs"]
         assert doc["counters"]["service.requests.compress"] >= 1
         cell = doc["latency_us"]["compress"]

@@ -72,7 +72,7 @@ class TestReportAccounting:
         assert any("FAILURE" in line for line in lines)
 
     def test_expect_error_is_default_contract(self):
-        # Two OK probes (plain and traced); everything else expects a
-        # structured rejection.
+        # Three OK probes (plain, traced, deadline-stamped); everything
+        # else expects a structured rejection.
         expectations = [expect for _n, _c, expect in CASES]
-        assert expectations.count(EXPECT_ERROR) == len(CASES) - 2
+        assert expectations.count(EXPECT_ERROR) == len(CASES) - 3
